@@ -1,0 +1,82 @@
+// Command daggen generates parallel task graphs of the paper's three
+// families and writes them as JSON or Graphviz DOT.
+//
+// Usage:
+//
+//	daggen -family random -tasks 20 -width 0.5 -regularity 0.8 -density 0.2 -jump 2 -format dot
+//	daggen -family fft -k 3 -format json
+//	daggen -family strassen -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ptgsched"
+)
+
+func main() {
+	var (
+		family     = flag.String("family", "random", "random, fft or strassen")
+		tasks      = flag.Int("tasks", 20, "task count (random family)")
+		width      = flag.Float64("width", 0.5, "width parameter (random family)")
+		regularity = flag.Float64("regularity", 0.8, "regularity parameter (random family)")
+		density    = flag.Float64("density", 0.2, "density parameter (random family)")
+		jump       = flag.Int("jump", 1, "jump parameter (random family)")
+		k          = flag.Int("k", 3, "FFT exponent: 2^k points (fft family)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		format     = flag.String("format", "json", "output format: json or dot")
+		out        = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	r := rand.New(rand.NewSource(*seed))
+	var g *ptgsched.Graph
+	switch strings.ToLower(*family) {
+	case "random":
+		g = ptgsched.RandomPTG(ptgsched.RandomConfig{
+			Tasks: *tasks, Width: *width, Regularity: *regularity,
+			Density: *density, Jump: *jump,
+		}, r)
+	case "fft":
+		g = ptgsched.FFTPTG(*k, r)
+	case "strassen":
+		g = ptgsched.StrassenPTG(r)
+	default:
+		fatal(fmt.Errorf("unknown family %q", *family))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch strings.ToLower(*format) {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(g); err != nil {
+			fatal(err)
+		}
+	case "dot":
+		if err := g.WriteDOT(w); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "daggen:", err)
+	os.Exit(1)
+}

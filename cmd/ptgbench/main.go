@@ -1,0 +1,302 @@
+// Command ptgbench regenerates the tables and figures of the paper's
+// evaluation (§7). Each experiment prints the same rows/series the paper
+// reports; absolute values depend on the simulated substrate, the *shape*
+// (strategy rankings, trends in the number of PTGs, the µ trade-off) is the
+// reproduction target.
+//
+// Usage:
+//
+//	ptgbench -experiment table1
+//	ptgbench -experiment fig2 -reps 25 -seed 42
+//	ptgbench -experiment fig3 -csv fig3.csv
+//	ptgbench -experiment mu-calibration
+//	ptgbench -experiment ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ptgsched"
+)
+
+func main() {
+	var (
+		name    = flag.String("experiment", "table1", "table1, fig1, fig2, fig3, fig4, fig5, mu-calibration, ablation or dynamic")
+		reps    = flag.Int("reps", 25, "random PTG combinations per point (paper: 25)")
+		seed    = flag.Int64("seed", 42, "base random seed")
+		workers = flag.Int("workers", 0, "concurrent runs (default: NumCPU)")
+		csvPath = flag.String("csv", "", "also write the aggregated results to this CSV file")
+	)
+	flag.Parse()
+
+	switch strings.ToLower(*name) {
+	case "table1":
+		table1()
+	case "fig1":
+		fig1()
+	case "fig2":
+		campaign(ptgsched.Fig2Config(*seed, *reps), *workers, *csvPath,
+			"Figure 2: µ sweep of WPS-work on random PTGs",
+			ptgsched.MetricUnfairness, ptgsched.MetricAvgMakespan)
+	case "fig3":
+		campaign(ptgsched.Fig3Config(*seed, *reps), *workers, *csvPath,
+			"Figure 3: 8 strategies on random PTGs",
+			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
+	case "fig4":
+		campaign(ptgsched.Fig4Config(*seed, *reps), *workers, *csvPath,
+			"Figure 4: 8 strategies on FFT PTGs",
+			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
+	case "fig5":
+		campaign(ptgsched.Fig5Config(*seed, *reps), *workers, *csvPath,
+			"Figure 5: 6 strategies on Strassen PTGs",
+			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
+	case "mu-calibration":
+		muCalibration(*seed, *reps, *workers)
+	case "ablation":
+		ablation(*seed, *reps, *workers, *csvPath)
+	case "dynamic":
+		dynamic(*seed, *reps)
+	default:
+		fmt.Fprintf(os.Stderr, "ptgbench: unknown experiment %q\n", *name)
+		os.Exit(1)
+	}
+}
+
+// table1 prints the platform inventory of Table 1 plus the derived
+// quantities quoted in §2.
+func table1() {
+	fmt.Println("Table 1: multi-cluster subsets of the Grid'5000 platform")
+	fmt.Printf("%-8s %-10s %6s %9s\n", "Site", "Cluster", "#proc", "GFlop/s")
+	for _, pf := range ptgsched.Grid5000Sites() {
+		for i, c := range pf.Clusters {
+			site := ""
+			if i == 0 {
+				site = pf.Name
+			}
+			fmt.Printf("%-8s %-10s %6d %9.3f\n", site, c.Name, c.Procs, c.Speed)
+		}
+	}
+	fmt.Println("\nDerived (§2):")
+	fmt.Printf("%-8s %6s %14s %15s %s\n", "Site", "#proc", "heterogeneity", "power (GF/s)", "topology")
+	for _, pf := range ptgsched.Grid5000Sites() {
+		topo := "per-cluster switches"
+		if pf.SharedSwitch {
+			topo = "shared switch"
+		}
+		fmt.Printf("%-8s %6d %13.1f%% %15.1f %s\n",
+			pf.Name, pf.TotalProcs(), pf.Heterogeneity()*100, pf.TotalPower(), topo)
+	}
+}
+
+// fig1 reproduces the illustration of §5: two PTGs on two processors, the
+// global ordering postpones the small application while the ready-task
+// ordering does not.
+func fig1() {
+	fmt.Println("Figure 1: global ordering vs ready-task ordering")
+	fmt.Println("(two PTGs on a 2-processor cluster, one processor each)")
+	pf := ptgsched.NewPlatform("fig1", true, ptgsched.ClusterSpec{Name: "c0", Procs: 2, Speed: 1})
+	mk := func(name string, works ...float64) *ptgsched.Graph {
+		g := ptgsched.NewGraph(name)
+		var prev *ptgsched.Task
+		for i, w := range works {
+			t := g.AddTask(fmt.Sprintf("%s%d", name, i), 1, w, 0)
+			if prev != nil {
+				g.MustAddEdge(prev, t, 0)
+			}
+			prev = t
+		}
+		return g
+	}
+	for _, ordering := range []ptgsched.MapOptions{
+		{Ordering: ptgsched.GlobalOrdering},
+		{Ordering: ptgsched.ReadyTasksOrdering},
+	} {
+		big, small := mk("big", 10, 5), mk("small", 2, 2)
+		sched := ptgsched.NewScheduler(pf)
+		sched.MapOptions = ordering
+		res := sched.Schedule([]*ptgsched.Graph{big, small}, ptgsched.ES())
+		fmt.Printf("\n--- %v ordering ---\n", ordering.Ordering)
+		fmt.Printf("big PTG makespan:   %6.2f s\n", res.Makespan(0))
+		fmt.Printf("small PTG makespan: %6.2f s\n", res.Makespan(1))
+		if err := ptgsched.WriteGantt(os.Stdout, res.Schedule, 60); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func campaign(cfg ptgsched.ExperimentConfig, workers int, csvPath, title string, metricsToShow ...ptgsched.ExperimentMetric) {
+	cfg.Workers = workers
+	fmt.Println(title)
+	fmt.Printf("(%d combinations × %d platforms = %d runs per point)\n\n",
+		cfg.Reps, 4, cfg.Reps*4)
+	res := ptgsched.RunExperiment(cfg)
+	for _, m := range metricsToShow {
+		if err := res.RenderTable(os.Stdout, m); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+}
+
+// muCalibration reproduces the textual µ calibration of §7 for the three
+// WPS variants on their relevant families.
+func muCalibration(seed int64, reps, workers int) {
+	cases := []struct {
+		char   ptgsched.Characteristic
+		family ptgsched.PTGFamily
+	}{
+		{ptgsched.Work, ptgsched.FamilyRandom},
+		{ptgsched.CriticalPath, ptgsched.FamilyRandom},
+		{ptgsched.Width, ptgsched.FamilyRandom},
+		{ptgsched.Width, ptgsched.FamilyFFT},
+	}
+	for _, c := range cases {
+		cfg := ptgsched.MuCalibrationConfig(c.char, c.family, seed, reps)
+		cfg.Workers = workers
+		fmt.Printf("µ calibration: WPS-%s on %s PTGs (paper's choice: µ=%.1f)\n",
+			c.char, c.family, ptgsched.DefaultMu(c.char, c.family))
+		res := ptgsched.RunExperiment(cfg)
+		if err := res.RenderTable(os.Stdout, ptgsched.MetricUnfairness); err != nil {
+			fatal(err)
+		}
+		if err := res.RenderTable(os.Stdout, ptgsched.MetricAvgMakespan); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// ablation quantifies the design choices DESIGN.md calls out: ready-task vs
+// global ordering and packing on/off, on the paper's random workload.
+func ablation(seed int64, reps, workers int, csvPath string) {
+	fmt.Println("Ablation: mapping design choices on random PTGs, ES strategy")
+	variants := []struct {
+		label string
+		opts  ptgsched.MapOptions
+	}{
+		{"ready+packing", ptgsched.MapOptions{}},
+		{"ready,no-pack", ptgsched.MapOptions{NoPacking: true}},
+		{"global+packing", ptgsched.MapOptions{Ordering: ptgsched.GlobalOrdering}},
+		{"global,no-pack", ptgsched.MapOptions{Ordering: ptgsched.GlobalOrdering, NoPacking: true}},
+	}
+	nptgs := []int{2, 6, 10}
+	fmt.Printf("%-16s %8s %14s %14s\n", "variant", "#PTGs", "unfairness", "makespan (s)")
+	for _, v := range variants {
+		for _, n := range nptgs {
+			unf, mak := ablationPoint(v.opts, n, seed, reps, workers)
+			fmt.Printf("%-16s %8d %14.3f %14.1f\n", v.label, n, unf, mak)
+		}
+	}
+	_ = csvPath
+}
+
+func ablationPoint(opts ptgsched.MapOptions, n int, seed int64, reps, workers int) (unfairness, makespan float64) {
+	if workers <= 0 {
+		workers = 4
+	}
+	var unfSum, makSum float64
+	count := 0
+	for rep := 0; rep < reps; rep++ {
+		for _, pf := range ptgsched.Grid5000Sites() {
+			r := rand.New(rand.NewSource(seed + int64(rep)*1009 + int64(n)))
+			graphs := make([]*ptgsched.Graph, n)
+			for i := range graphs {
+				graphs[i] = ptgsched.GeneratePTG(ptgsched.FamilyRandom, r)
+			}
+			sched := ptgsched.NewScheduler(pf)
+			sched.MapOptions = opts
+			own := make([]float64, n)
+			for i, g := range graphs {
+				own[i] = sched.ScheduleAlone(g)
+			}
+			res := sched.Schedule(graphs, ptgsched.ES())
+			ev := res.Evaluate(own)
+			unfSum += ev.Unfairness
+			makSum += ev.Makespan
+			count++
+		}
+	}
+	return unfSum / float64(count), makSum / float64(count)
+}
+
+// dynamic explores the paper's future-work direction (§8): applications
+// with different submission times, constraints recomputed online. Reports
+// mean flow time and flow-time unfairness for the online strategies.
+func dynamic(seed int64, reps int) {
+	fmt.Println("Dynamic submissions (§8 future work): Poisson arrivals, online rebalancing")
+	strategies := []struct {
+		label string
+		opts  ptgsched.OnlineOptions
+	}{
+		{"S", ptgsched.OnlineOptions{Strategy: ptgsched.S()}},
+		{"ES", ptgsched.OnlineOptions{Strategy: ptgsched.ES()}},
+		{"WPS-work", ptgsched.OnlineOptions{Strategy: ptgsched.WPS(ptgsched.Work, 0.7)}},
+		{"WPS-work/no-rebal", ptgsched.OnlineOptions{
+			Strategy:                ptgsched.WPS(ptgsched.Work, 0.7),
+			NoRebalanceOnCompletion: true,
+		}},
+	}
+	counts := []int{4, 8, 12}
+	fmt.Printf("%-18s %6s %16s %18s %12s\n",
+		"strategy", "#apps", "mean flow (s)", "flow stddev (s)", "rebalances")
+	for _, st := range strategies {
+		for _, n := range counts {
+			var flows []float64
+			rebal := 0
+			for rep := 0; rep < reps; rep++ {
+				for pi, pf := range ptgsched.Grid5000Sites() {
+					r := rand.New(rand.NewSource(seed + int64(rep)*997 + int64(n)*13 + int64(pi)))
+					arrivals := ptgsched.GenerateWorkload(ptgsched.WorkloadSpec{
+						Family:  ptgsched.FamilyRandom,
+						Count:   n,
+						Process: ptgsched.PoissonArrivals,
+						Rate:    0.25,
+					}, r)
+					res := ptgsched.ScheduleOnline(pf, arrivals, st.opts)
+					for _, app := range res.Apps {
+						flows = append(flows, app.FlowTime())
+					}
+					rebal += res.Rebalances
+				}
+			}
+			mean, sd := meanStd(flows)
+			fmt.Printf("%-18s %6d %16.1f %18.1f %12d\n", st.label, n, mean, sd, rebal)
+		}
+	}
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) > 1 {
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		sd = math.Sqrt(v / float64(len(xs)-1))
+	}
+	return mean, sd
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptgbench:", err)
+	os.Exit(1)
+}

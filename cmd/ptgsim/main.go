@@ -1,0 +1,148 @@
+// Command ptgsim schedules a batch of concurrently-submitted parallel task
+// graphs on a Grid'5000 multi-cluster site and reports the paper's metrics
+// for one chosen constraint-determination strategy.
+//
+// Usage:
+//
+//	ptgsim -platform rennes -family random -n 6 -strategy WPS-width -seed 1 -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ptgsched"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "rennes", "platform: lille, nancy, rennes or sophia")
+		familyName   = flag.String("family", "random", "PTG family: random, fft or strassen")
+		n            = flag.Int("n", 4, "number of concurrent PTGs")
+		strategyName = flag.String("strategy", "WPS-width", "strategy: S, ES, PS-cp, PS-width, PS-work, WPS-cp, WPS-width, WPS-work")
+		mu           = flag.Float64("mu", -1, "µ for WPS strategies (default: the paper's calibrated value)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		gantt        = flag.Bool("gantt", false, "print a text Gantt chart")
+		jsonOut      = flag.Bool("json", false, "print the schedule as JSON")
+	)
+	flag.Parse()
+
+	pf, err := platformByName(*platformName)
+	if err != nil {
+		fatal(err)
+	}
+	family, err := familyByName(*familyName)
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := strategyByName(*strategyName, *mu, family)
+	if err != nil {
+		fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	graphs := make([]*ptgsched.Graph, *n)
+	for i := range graphs {
+		graphs[i] = ptgsched.GeneratePTG(family, r)
+	}
+
+	sched := ptgsched.NewScheduler(pf)
+	fmt.Printf("platform : %s\n", pf)
+	fmt.Printf("strategy : %s\n", strat)
+	fmt.Printf("PTGs     : %d × %s\n\n", *n, family)
+
+	own := make([]float64, len(graphs))
+	for i, g := range graphs {
+		own[i] = sched.ScheduleAlone(g)
+	}
+	res := sched.Schedule(graphs, strat)
+	if err := ptgsched.ValidateSchedule(res.Schedule); err != nil {
+		fatal(fmt.Errorf("invalid schedule: %w", err))
+	}
+	ev := res.Evaluate(own)
+
+	fmt.Printf("%-4s %-28s %8s %12s %12s %10s\n", "app", "graph", "beta", "M_own (s)", "M_multi (s)", "slowdown")
+	for i, g := range graphs {
+		fmt.Printf("%-4d %-28s %8.3f %12.2f %12.2f %10.3f\n",
+			i, g.Name, res.Betas[i], own[i], res.Makespan(i), ev.Slowdowns[i])
+	}
+	fmt.Printf("\nglobal makespan : %.2f s\n", ev.Makespan)
+	fmt.Printf("unfairness      : %.4f\n", ev.Unfairness)
+
+	if *gantt {
+		fmt.Println()
+		if err := ptgsched.WriteGantt(os.Stdout, res.Schedule, 100); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut {
+		if err := ptgsched.WriteScheduleJSON(os.Stdout, res.Schedule); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func platformByName(name string) (*ptgsched.Platform, error) {
+	switch strings.ToLower(name) {
+	case "lille":
+		return ptgsched.Lille(), nil
+	case "nancy":
+		return ptgsched.Nancy(), nil
+	case "rennes":
+		return ptgsched.Rennes(), nil
+	case "sophia":
+		return ptgsched.Sophia(), nil
+	default:
+		return nil, fmt.Errorf("unknown platform %q", name)
+	}
+}
+
+func familyByName(name string) (ptgsched.PTGFamily, error) {
+	switch strings.ToLower(name) {
+	case "random":
+		return ptgsched.FamilyRandom, nil
+	case "fft":
+		return ptgsched.FamilyFFT, nil
+	case "strassen":
+		return ptgsched.FamilyStrassen, nil
+	default:
+		return 0, fmt.Errorf("unknown family %q", name)
+	}
+}
+
+func strategyByName(name string, mu float64, family ptgsched.PTGFamily) (ptgsched.Strategy, error) {
+	pick := func(c ptgsched.Characteristic) float64 {
+		if mu >= 0 {
+			return mu
+		}
+		return ptgsched.DefaultMu(c, family)
+	}
+	switch name {
+	case "S":
+		return ptgsched.S(), nil
+	case "ES":
+		return ptgsched.ES(), nil
+	case "PS-cp":
+		return ptgsched.PS(ptgsched.CriticalPath), nil
+	case "PS-width":
+		return ptgsched.PS(ptgsched.Width), nil
+	case "PS-work":
+		return ptgsched.PS(ptgsched.Work), nil
+	case "WPS-cp":
+		return ptgsched.WPS(ptgsched.CriticalPath, pick(ptgsched.CriticalPath)), nil
+	case "WPS-width":
+		return ptgsched.WPS(ptgsched.Width, pick(ptgsched.Width)), nil
+	case "WPS-work":
+		return ptgsched.WPS(ptgsched.Work, pick(ptgsched.Work)), nil
+	default:
+		return ptgsched.Strategy{}, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptgsim:", err)
+	os.Exit(1)
+}

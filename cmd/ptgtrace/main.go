@@ -1,0 +1,159 @@
+// Command ptgtrace generates, inspects and replays submission workloads
+// for the online scheduler (the §8 dynamic-arrivals extension).
+//
+// Usage:
+//
+//	ptgtrace -mode generate -family random -count 10 -process poisson -rate 0.2 -out trace.json
+//	ptgtrace -mode inspect -in trace.json
+//	ptgtrace -mode replay -in trace.json -platform rennes -strategy WPS-work
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ptgsched"
+)
+
+func main() {
+	var (
+		mode         = flag.String("mode", "generate", "generate, inspect or replay")
+		familyName   = flag.String("family", "random", "PTG family: random, fft or strassen")
+		count        = flag.Int("count", 10, "number of applications")
+		processName  = flag.String("process", "poisson", "arrival process: burst, poisson or uniform")
+		rate         = flag.Float64("rate", 0.2, "arrival rate in apps/second")
+		seed         = flag.Int64("seed", 1, "random seed")
+		in           = flag.String("in", "", "input trace file")
+		out          = flag.String("out", "", "output trace file (default stdout)")
+		platformName = flag.String("platform", "rennes", "platform for replay")
+		strategyName = flag.String("strategy", "WPS-work", "strategy for replay: S, ES or WPS-work")
+	)
+	flag.Parse()
+
+	switch strings.ToLower(*mode) {
+	case "generate":
+		generate(*familyName, *count, *processName, *rate, *seed, *out)
+	case "inspect":
+		inspect(*in)
+	case "replay":
+		replay(*in, *platformName, *strategyName)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func generate(familyName string, count int, processName string, rate float64, seed int64, out string) {
+	var family ptgsched.PTGFamily
+	switch strings.ToLower(familyName) {
+	case "random":
+		family = ptgsched.FamilyRandom
+	case "fft":
+		family = ptgsched.FamilyFFT
+	case "strassen":
+		family = ptgsched.FamilyStrassen
+	default:
+		fatal(fmt.Errorf("unknown family %q", familyName))
+	}
+	var process ptgsched.ArrivalProcess
+	switch strings.ToLower(processName) {
+	case "burst":
+		process = ptgsched.BurstArrivals
+	case "poisson":
+		process = ptgsched.PoissonArrivals
+	case "uniform":
+		process = ptgsched.UniformArrivals
+	default:
+		fatal(fmt.Errorf("unknown process %q", processName))
+	}
+	arrivals := ptgsched.GenerateWorkload(ptgsched.WorkloadSpec{
+		Family: family, Count: count, Process: process, Rate: rate,
+	}, rand.New(rand.NewSource(seed)))
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ptgsched.WriteWorkloadTrace(w, arrivals); err != nil {
+		fatal(err)
+	}
+}
+
+func readTrace(in string) []ptgsched.Arrival {
+	if in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	arrivals, err := ptgsched.ReadWorkloadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	return arrivals
+}
+
+func inspect(in string) {
+	arrivals := readTrace(in)
+	fmt.Printf("%-4s %10s %-28s %6s %6s %6s %12s\n",
+		"app", "arrival", "graph", "tasks", "depth", "width", "work (GF)")
+	for i, a := range arrivals {
+		s := a.Graph.ComputeStats()
+		fmt.Printf("%-4d %10.1f %-28s %6d %6d %6d %12.0f\n",
+			i, a.At, a.Graph.Name, s.Tasks, s.Depth, s.MaxWidth, s.TotalWorkG)
+	}
+}
+
+func replay(in, platformName, strategyName string) {
+	arrivals := readTrace(in)
+	var pf *ptgsched.Platform
+	switch strings.ToLower(platformName) {
+	case "lille":
+		pf = ptgsched.Lille()
+	case "nancy":
+		pf = ptgsched.Nancy()
+	case "rennes":
+		pf = ptgsched.Rennes()
+	case "sophia":
+		pf = ptgsched.Sophia()
+	default:
+		fatal(fmt.Errorf("unknown platform %q", platformName))
+	}
+	var strat ptgsched.Strategy
+	switch strategyName {
+	case "S":
+		strat = ptgsched.S()
+	case "ES":
+		strat = ptgsched.ES()
+	case "WPS-work":
+		strat = ptgsched.WPS(ptgsched.Work, 0.7)
+	default:
+		fatal(fmt.Errorf("unknown strategy %q (replay supports S, ES, WPS-work)", strategyName))
+	}
+
+	res := ptgsched.ScheduleOnline(pf, arrivals, ptgsched.OnlineOptions{Strategy: strat})
+	fmt.Printf("platform: %s, strategy: %s\n\n", pf, strat)
+	fmt.Printf("%-4s %10s %10s %12s %12s\n", "app", "arrival", "start", "completion", "flow (s)")
+	var sum float64
+	for i, app := range res.Apps {
+		fmt.Printf("%-4d %10.1f %10.1f %12.1f %12.1f\n",
+			i, app.SubmittedAt, app.StartedAt, app.CompletedAt, app.FlowTime())
+		sum += app.FlowTime()
+	}
+	fmt.Printf("\nmean flow time: %.1f s, last completion: %.1f s, rebalances: %d\n",
+		sum/float64(len(res.Apps)), res.Makespan, res.Rebalances)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptgtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package ptgsched_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ptgsched"
+)
+
+// Example demonstrates the complete paper pipeline on a deterministic toy
+// scenario: two chain applications share a 2-processor cluster under the
+// equal-share strategy.
+func Example() {
+	pf := ptgsched.NewPlatform("toy", true,
+		ptgsched.ClusterSpec{Name: "c0", Procs: 2, Speed: 1})
+
+	mk := func(name string, works ...float64) *ptgsched.Graph {
+		g := ptgsched.NewGraph(name)
+		var prev *ptgsched.Task
+		for i, w := range works {
+			t := g.AddTask(fmt.Sprintf("%s%d", name, i), 1, w, 0)
+			if prev != nil {
+				g.MustAddEdge(prev, t, 0)
+			}
+			prev = t
+		}
+		return g
+	}
+	big, small := mk("big", 10, 5), mk("small", 2, 2)
+
+	sched := ptgsched.NewScheduler(pf)
+	res := sched.Schedule([]*ptgsched.Graph{big, small}, ptgsched.ES())
+	fmt.Printf("big:   %.0f s\n", res.Makespan(0))
+	fmt.Printf("small: %.0f s\n", res.Makespan(1))
+	// Output:
+	// big:   15 s
+	// small: 4 s
+}
+
+// ExampleStrategy_Betas shows how the eight strategies translate PTG
+// characteristics into resource constraints.
+func ExampleStrategy_Betas() {
+	g1 := ptgsched.NewGraph("light")
+	g1.AddTask("t", 1e6, 100, 0)
+	g2 := ptgsched.NewGraph("heavy")
+	g2.AddTask("t", 1e6, 300, 0)
+	graphs := []*ptgsched.Graph{g1, g2}
+	ref := ptgsched.Rennes().ReferenceCluster()
+
+	for _, s := range []ptgsched.Strategy{
+		ptgsched.ES(),
+		ptgsched.PS(ptgsched.Work),
+		ptgsched.WPS(ptgsched.Work, 0.5),
+	} {
+		fmt.Printf("%-8s %.3v\n", s.Name(), s.Betas(graphs, ref))
+	}
+	// Output:
+	// ES       [0.5 0.5]
+	// PS-work  [0.25 0.75]
+	// WPS-work [0.375 0.625]
+}
+
+// ExampleGeneratePTG draws one of the paper's synthetic workflow graphs.
+func ExampleGeneratePTG() {
+	r := rand.New(rand.NewSource(1))
+	g := ptgsched.GeneratePTG(ptgsched.FamilyStrassen, r)
+	stats := g.ComputeStats()
+	fmt.Printf("%s: %d tasks, depth %d, width %d\n",
+		g.Name, stats.Tasks, stats.Depth, stats.MaxWidth)
+	// Output:
+	// strassen: 25 tasks, depth 5, width 10
+}

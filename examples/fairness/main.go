@@ -1,0 +1,63 @@
+// Fairness: reproduces the mechanism of Figure 1 of the paper. A big and a
+// small application share two processors; the classical global bottom-level
+// ordering postpones the small one behind the big one's first task, while
+// the paper's ready-task ordering lets it start immediately — a fairer and
+// more efficient schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ptgsched"
+)
+
+func chainPTG(name string, works ...float64) *ptgsched.Graph {
+	g := ptgsched.NewGraph(name)
+	var prev *ptgsched.Task
+	for i, w := range works {
+		t := g.AddTask(fmt.Sprintf("%s-%d", name, i), 1, w, 0)
+		if prev != nil {
+			g.MustAddEdge(prev, t, 0)
+		}
+		prev = t
+	}
+	return g
+}
+
+func main() {
+	pf := ptgsched.NewPlatform("toy", true,
+		ptgsched.ClusterSpec{Name: "c0", Procs: 2, Speed: 1})
+
+	for _, ordering := range []struct {
+		name string
+		opts ptgsched.MapOptions
+	}{
+		{"global ordering (classical)", ptgsched.MapOptions{Ordering: ptgsched.GlobalOrdering}},
+		{"ready-task ordering (paper, §5)", ptgsched.MapOptions{Ordering: ptgsched.ReadyTasksOrdering}},
+	} {
+		// Fresh graphs per run: schedules annotate placements.
+		big := chainPTG("big", 10, 5)
+		small := chainPTG("small", 2, 2)
+
+		sched := ptgsched.NewScheduler(pf)
+		sched.MapOptions = ordering.opts
+		res := sched.Schedule([]*ptgsched.Graph{big, small}, ptgsched.ES())
+
+		own := []float64{sched.ScheduleAlone(chainPTG("big", 10, 5)),
+			sched.ScheduleAlone(chainPTG("small", 2, 2))}
+		ev := res.Evaluate(own)
+
+		fmt.Printf("=== %s ===\n", ordering.name)
+		fmt.Printf("big:   makespan %5.2f s (slowdown %.2f)\n", res.Makespan(0), ev.Slowdowns[0])
+		fmt.Printf("small: makespan %5.2f s (slowdown %.2f)\n", res.Makespan(1), ev.Slowdowns[1])
+		fmt.Printf("unfairness: %.3f\n", ev.Unfairness)
+		if err := ptgsched.WriteGantt(os.Stdout, res.Schedule, 60); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The ready-task ordering lets the small application run during the")
+	fmt.Println("big one's first task instead of queueing behind it (paper, Fig. 1).")
+}

@@ -1,0 +1,52 @@
+// Onlinearrivals: the paper's future-work scenario (§8). Applications are
+// submitted to the Rennes site over time following a Poisson process; on
+// every arrival and completion the scheduler recomputes the per-application
+// resource constraints (WPS-work), reallocates the not-yet-started tasks
+// and remaps them. Compares flow times against the selfish free-for-all.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ptgsched"
+)
+
+func main() {
+	pf := ptgsched.Rennes()
+	fmt.Println("platform:", pf)
+
+	// Twelve applications arriving at ~1 application per 5 seconds.
+	r := rand.New(rand.NewSource(31))
+	arrivals := ptgsched.GenerateWorkload(ptgsched.WorkloadSpec{
+		Family:  ptgsched.FamilyRandom,
+		Count:   12,
+		Process: ptgsched.PoissonArrivals,
+		Rate:    0.2,
+	}, r)
+
+	runs := map[string]ptgsched.OnlineOptions{
+		"WPS-work (rebalancing)": {Strategy: ptgsched.WPS(ptgsched.Work, 0.7)},
+		"S (selfish)":            {Strategy: ptgsched.S()},
+	}
+
+	results := make(map[string]*ptgsched.OnlineResult, len(runs))
+	for name, opts := range runs {
+		results[name] = ptgsched.ScheduleOnline(pf, arrivals, opts)
+	}
+
+	fmt.Printf("\n%-4s %10s | %14s | %14s\n", "app", "arrival", "WPS flow (s)", "S flow (s)")
+	wps := results["WPS-work (rebalancing)"]
+	selfish := results["S (selfish)"]
+	var wpsSum, sSum float64
+	for i := range arrivals {
+		w, s := wps.Apps[i].FlowTime(), selfish.Apps[i].FlowTime()
+		wpsSum += w
+		sSum += s
+		fmt.Printf("%-4d %10.1f | %14.1f | %14.1f\n", i, arrivals[i].At, w, s)
+	}
+	n := float64(len(arrivals))
+	fmt.Printf("\nmean flow time : WPS %.1f s, selfish %.1f s\n", wpsSum/n, sSum/n)
+	fmt.Printf("last completion: WPS %.1f s, selfish %.1f s\n", wps.Makespan, selfish.Makespan)
+	fmt.Printf("rebalances     : WPS %d, selfish %d\n", wps.Rebalances, selfish.Rebalances)
+}

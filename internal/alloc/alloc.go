@@ -1,0 +1,210 @@
+// Package alloc implements the constrained resource allocation step of the
+// paper's two-step scheduling approach (§4): deciding how many processors
+// each task of a PTG receives, under a resource constraint β that bounds
+// the fraction of the platform's total processing power the PTG may use.
+//
+// Following HCPA, allocation happens on a homogeneous *reference cluster*
+// (platform.Reference): every task is allocated a number of reference
+// processors; at mapping time the reference allocation is translated into a
+// concrete allocation of equivalent power on the chosen cluster.
+//
+// Two procedures are provided, both from the authors' earlier work recalled
+// in §4. Starting from one processor per task, each iteration gives one
+// more processor to the critical-path task that benefits most; they differ
+// in how a violation of β is detected:
+//
+//   - SCRAP: global test — the total task area (time × power) divided by
+//     the critical path length must not exceed β times the platform power.
+//   - SCRAP-MAX: per-precedence-level test — the summed power of the
+//     allocations within any precedence level must not exceed β times the
+//     platform power, so that concurrent ready tasks of one level can all
+//     run inside the PTG's share.
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"ptgsched/internal/cost"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/platform"
+)
+
+// Procedure selects the constraint-violation test.
+type Procedure int
+
+const (
+	// SCRAP applies the global area test.
+	SCRAP Procedure = iota
+	// SCRAPMAX applies the per-precedence-level power test. The paper's
+	// evaluation uses only SCRAP-MAX (§4, last paragraph).
+	SCRAPMAX
+)
+
+// String implements fmt.Stringer.
+func (p Procedure) String() string {
+	switch p {
+	case SCRAP:
+		return "SCRAP"
+	case SCRAPMAX:
+		return "SCRAP-MAX"
+	default:
+		return fmt.Sprintf("Procedure(%d)", int(p))
+	}
+}
+
+// Allocation is the result of the allocation step: a number of reference
+// processors per task (indexed by task ID).
+type Allocation struct {
+	Graph *dag.Graph
+	Ref   platform.Reference
+	Beta  float64
+	Procs []int
+}
+
+// TimeOf returns the estimated execution time of t on its reference
+// allocation.
+func (a *Allocation) TimeOf(t *dag.Task) float64 {
+	return cost.TaskTime(t, a.Ref.Speed, a.Procs[t.ID])
+}
+
+// PowerOf returns the reference processing power consumed by t's
+// allocation, in GFlop/s.
+func (a *Allocation) PowerOf(t *dag.Task) float64 {
+	return float64(a.Procs[t.ID]) * a.Ref.Speed
+}
+
+// CriticalPathLength returns the critical path length of the graph under
+// the current allocation, ignoring communication (allocation, like CPA,
+// reasons on computation only; the mapper accounts for redistribution).
+func (a *Allocation) CriticalPathLength() float64 {
+	return a.Graph.CriticalPathLength(a.TimeOf, dag.ZeroComm)
+}
+
+// TotalArea returns the summed area (execution time × consumed power) of
+// all tasks under the current allocation, in GFlop.
+func (a *Allocation) TotalArea() float64 {
+	area := 0.0
+	for _, t := range a.Graph.Tasks {
+		area += a.TimeOf(t) * a.PowerOf(t)
+	}
+	return area
+}
+
+// LevelPowers returns, per precedence level, the summed power of the
+// allocations of the level's tasks, in GFlop/s.
+func (a *Allocation) LevelPowers() []float64 {
+	sets := a.Graph.LevelSets()
+	powers := make([]float64, len(sets))
+	for l, set := range sets {
+		for _, t := range set {
+			powers[l] += a.PowerOf(t)
+		}
+	}
+	return powers
+}
+
+// violates reports whether the allocation breaks the β constraint under the
+// given procedure. The minimal allocation (one processor per task) is never
+// reported as violating: a task cannot use less than one processor.
+func (a *Allocation) violates(proc Procedure) bool {
+	minimal := true
+	for _, p := range a.Procs {
+		if p > 1 {
+			minimal = false
+			break
+		}
+	}
+	if minimal {
+		return false
+	}
+	budget := a.Beta * a.Ref.Power()
+	const tol = 1e-9
+	switch proc {
+	case SCRAP:
+		cp := a.CriticalPathLength()
+		if cp <= 0 {
+			return false
+		}
+		return a.TotalArea()/cp > budget*(1+tol)
+	case SCRAPMAX:
+		for _, p := range a.LevelPowers() {
+			if p > budget*(1+tol) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("alloc: unknown procedure %d", int(proc)))
+	}
+}
+
+// Respected reports whether the final allocation satisfies its constraint
+// (it may not when β is so small that even one processor per task exceeds
+// the budget; the paper reports 99% respect across its scenarios).
+func (a *Allocation) Respected(proc Procedure) bool { return !a.violates(proc) }
+
+// Compute runs the constrained allocation procedure on g for a platform
+// described by ref, under resource constraint beta ∈ (0, 1].
+func Compute(g *dag.Graph, ref platform.Reference, beta float64, proc Procedure) *Allocation {
+	if beta <= 0 || beta > 1 {
+		panic(fmt.Sprintf("alloc: beta %g outside (0,1]", beta))
+	}
+	if err := g.Validate(false); err != nil {
+		panic(fmt.Sprintf("alloc: invalid graph: %v", err))
+	}
+	a := &Allocation{Graph: g, Ref: ref, Beta: beta, Procs: make([]int, len(g.Tasks))}
+	for i := range a.Procs {
+		a.Procs[i] = 1
+	}
+
+	// saturated marks tasks that can no longer grow: either at the
+	// platform size or whose last tentative growth violated the
+	// constraint.
+	saturated := make([]bool, len(g.Tasks))
+
+	for {
+		marks := g.OnCriticalPath(a.TimeOf, dag.ZeroComm)
+		best := -1
+		bestGain := 0.0
+		for _, t := range g.Tasks {
+			if !marks[t.ID] || saturated[t.ID] || a.Procs[t.ID] >= ref.Procs {
+				continue
+			}
+			gain := cost.MarginalGain(t, ref.Speed, a.Procs[t.ID])
+			if gain > bestGain {
+				bestGain = gain
+				best = t.ID
+			}
+		}
+		if best < 0 {
+			// No critical-path task can grow: either all saturated or no
+			// task gains from one more processor (alpha = 1).
+			return a
+		}
+		a.Procs[best]++
+		if a.violates(proc) {
+			a.Procs[best]--
+			saturated[best] = true
+			continue
+		}
+	}
+}
+
+// Translate converts a reference allocation of p processors into an
+// allocation on cluster c of (approximately) equivalent processing power,
+// as HCPA does on heterogeneous platforms: round(p·s_ref/s_c), clamped to
+// [1, c.Procs].
+func Translate(p int, ref platform.Reference, c *platform.Cluster) int {
+	if p < 1 {
+		panic(fmt.Sprintf("alloc: translating allocation of %d processors", p))
+	}
+	q := int(math.Round(float64(p) * ref.Speed / c.Speed))
+	if q < 1 {
+		q = 1
+	}
+	if q > c.Procs {
+		q = c.Procs
+	}
+	return q
+}

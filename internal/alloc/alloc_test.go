@@ -1,0 +1,202 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/platform"
+)
+
+func ref(procs int, speed float64) platform.Reference {
+	return platform.Reference{Procs: procs, Speed: speed}
+}
+
+func TestComputeStartsFromOneProcEach(t *testing.T) {
+	g := daggen.Random(daggen.RandomConfig{Tasks: 10, Width: 0.5, Regularity: 0.5, Density: 0.5, Jump: 1, Complexity: daggen.Mixed}, rand.New(rand.NewSource(1)))
+	// With a tiny beta nothing can grow beyond the minimal allocation.
+	a := Compute(g, ref(100, 3), 1e-9, SCRAPMAX)
+	for id, p := range a.Procs {
+		if p != 1 {
+			t.Errorf("task %d allocated %d procs under minuscule beta, want 1", id, p)
+		}
+	}
+}
+
+func TestComputeGrowsWithBeta(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := daggen.Random(daggen.RandomConfig{Tasks: 20, Width: 0.5, Regularity: 0.5, Density: 0.5, Jump: 2, Complexity: daggen.Mixed}, r)
+	total := func(a *Allocation) int {
+		n := 0
+		for _, p := range a.Procs {
+			n += p
+		}
+		return n
+	}
+	small := Compute(g, ref(100, 3), 0.1, SCRAPMAX)
+	large := Compute(g, ref(100, 3), 1.0, SCRAPMAX)
+	if total(large) <= total(small) {
+		t.Fatalf("beta=1 total %d <= beta=0.1 total %d", total(large), total(small))
+	}
+}
+
+func TestComputeReducesCriticalPath(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := daggen.Random(daggen.RandomConfig{Tasks: 20, Width: 0.2, Regularity: 0.8, Density: 0.5, Jump: 1, Complexity: daggen.Mixed}, r)
+	rf := ref(200, 3)
+	initial := &Allocation{Graph: g, Ref: rf, Beta: 1, Procs: make([]int, len(g.Tasks))}
+	for i := range initial.Procs {
+		initial.Procs[i] = 1
+	}
+	grown := Compute(g, rf, 1.0, SCRAPMAX)
+	if grown.CriticalPathLength() >= initial.CriticalPathLength() {
+		t.Fatalf("allocation did not shorten critical path: %g >= %g",
+			grown.CriticalPathLength(), initial.CriticalPathLength())
+	}
+}
+
+func TestSCRAPMAXRespectsLevelBudget(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := daggen.Generate(daggen.FamilyRandom, r)
+		rf := ref(229, 3.78)
+		beta := []float64{0.1, 0.25, 0.5, 1.0}[seed%4]
+		a := Compute(g, rf, beta, SCRAPMAX)
+		budget := beta * rf.Power()
+		minimalLevel := func(l int) bool {
+			for _, task := range g.LevelSets()[l] {
+				if a.Procs[task.ID] > 1 {
+					return false
+				}
+			}
+			return true
+		}
+		for l, p := range a.LevelPowers() {
+			if p > budget*(1+1e-9) && !minimalLevel(l) {
+				t.Errorf("seed %d beta %g: level %d power %g exceeds budget %g", seed, beta, l, p, budget)
+			}
+		}
+	}
+}
+
+func TestSCRAPRespectsAreaBudget(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := daggen.Generate(daggen.FamilyRandom, r)
+		rf := ref(167, 3.24)
+		beta := []float64{0.1, 0.25, 0.5, 1.0}[seed%4]
+		a := Compute(g, rf, beta, SCRAP)
+		grown := false
+		for _, p := range a.Procs {
+			if p > 1 {
+				grown = true
+				break
+			}
+		}
+		if !grown {
+			continue // minimal allocations are exempt by definition
+		}
+		if a.TotalArea()/a.CriticalPathLength() > beta*rf.Power()*(1+1e-9) {
+			t.Errorf("seed %d beta %g: area/cp %g exceeds budget %g",
+				seed, beta, a.TotalArea()/a.CriticalPathLength(), beta*rf.Power())
+		}
+	}
+}
+
+func TestRespectedReportsMinimalAllocations(t *testing.T) {
+	g := daggen.Strassen(rand.New(rand.NewSource(4)))
+	a := Compute(g, ref(99, 3.8), 1e-9, SCRAPMAX)
+	if !a.Respected(SCRAPMAX) {
+		t.Fatal("minimal allocation reported as violating")
+	}
+}
+
+func TestSelfishSCRAPMAXGrowsLargeAllocations(t *testing.T) {
+	// Under beta=1 a chain-like PTG's tasks should reach far beyond one
+	// processor: the selfish strategy builds resource-hungry schedules.
+	r := rand.New(rand.NewSource(5))
+	g := daggen.Random(daggen.RandomConfig{Tasks: 10, Width: 0.2, Regularity: 0.8, Density: 0.2, Jump: 1, Complexity: daggen.AllMatrix}, r)
+	a := Compute(g, ref(100, 3), 1.0, SCRAPMAX)
+	max := 0
+	for _, p := range a.Procs {
+		if p > max {
+			max = p
+		}
+	}
+	if max < 10 {
+		t.Fatalf("selfish allocation max width %d, expected substantial growth", max)
+	}
+}
+
+func TestComputeRejectsBadBeta(t *testing.T) {
+	g := daggen.Strassen(rand.New(rand.NewSource(1)))
+	for _, beta := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("beta=%g accepted", beta)
+				}
+			}()
+			Compute(g, ref(10, 1), beta, SCRAPMAX)
+		}()
+	}
+}
+
+func TestProcedureString(t *testing.T) {
+	if SCRAP.String() != "SCRAP" || SCRAPMAX.String() != "SCRAP-MAX" {
+		t.Fatal("Procedure.String mismatch")
+	}
+}
+
+func TestTranslatePreservesPower(t *testing.T) {
+	rf := ref(100, 3.0)
+	fast := &platform.Cluster{Name: "fast", Procs: 64, Speed: 6.0}
+	slow := &platform.Cluster{Name: "slow", Procs: 64, Speed: 1.5}
+	if got := Translate(10, rf, fast); got != 5 {
+		t.Errorf("fast translation = %d, want 5 (30 GFlop/s / 6)", got)
+	}
+	if got := Translate(10, rf, slow); got != 20 {
+		t.Errorf("slow translation = %d, want 20 (30 GFlop/s / 1.5)", got)
+	}
+}
+
+func TestTranslateClamps(t *testing.T) {
+	rf := ref(100, 3.0)
+	tiny := &platform.Cluster{Name: "tiny", Procs: 4, Speed: 3.0}
+	if got := Translate(50, rf, tiny); got != 4 {
+		t.Errorf("translation not clamped to cluster size: %d", got)
+	}
+	fast := &platform.Cluster{Name: "fast", Procs: 64, Speed: 100}
+	if got := Translate(1, rf, fast); got != 1 {
+		t.Errorf("translation below one processor: %d", got)
+	}
+}
+
+// Property: allocations are always within [1, ref.Procs] and allocation is
+// deterministic for a given seed.
+func TestComputeBoundsProperty(t *testing.T) {
+	f := func(seed int64, betaRaw uint8, procRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := daggen.Generate(daggen.Family(uint64(seed)%3), r)
+		beta := 0.05 + float64(betaRaw%95)/100
+		rf := ref(int(procRaw)%200+20, 3)
+		proc := Procedure(uint64(seed) % 2)
+		a := Compute(g, rf, beta, proc)
+		for _, p := range a.Procs {
+			if p < 1 || p > rf.Procs {
+				return false
+			}
+		}
+		b := Compute(g, rf, beta, proc)
+		for i := range a.Procs {
+			if a.Procs[i] != b.Procs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptgsched/internal/cost"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/trace"
+)
+
+func TestHEFTUsesOneProcPerTask(t *testing.T) {
+	pf := platform.Lille()
+	g := daggen.Generate(daggen.FamilyRandom, rand.New(rand.NewSource(1)))
+	s := HEFT(pf, g)
+	if err := trace.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Placements {
+		if len(p.Procs) != 1 {
+			t.Fatalf("HEFT placement %s uses %d procs", p, len(p.Procs))
+		}
+	}
+}
+
+func TestMHEFTRespectsEfficiencyFloor(t *testing.T) {
+	pf := platform.Rennes()
+	g := daggen.Generate(daggen.FamilyRandom, rand.New(rand.NewSource(2)))
+	s := MHEFT(pf, g)
+	if err := trace.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Placements {
+		q := len(p.Procs)
+		if eff := cost.Speedup(p.Task.Alpha, q) / float64(q); eff < MHEFTEfficiencyFloor-1e-9 {
+			t.Fatalf("%s efficiency %.3f below floor", p, eff)
+		}
+	}
+}
+
+func TestMHEFTBeatsHEFTOnParallelWork(t *testing.T) {
+	// With moldable tasks, exploiting data parallelism must not be slower
+	// than sequential-task scheduling on chain-heavy graphs.
+	pf := platform.Nancy()
+	wins := 0
+	for seed := int64(0); seed < 8; seed++ {
+		g := daggen.Random(daggen.RandomConfig{
+			Tasks: 20, Width: 0.2, Regularity: 0.8, Density: 0.2, Jump: 1,
+			Complexity: daggen.AllMatrix,
+		}, rand.New(rand.NewSource(seed)))
+		h := HEFT(pf, g).GlobalMakespan()
+		m := MHEFT(pf, g).GlobalMakespan()
+		if m < h {
+			wins++
+		}
+	}
+	if wins < 6 {
+		t.Fatalf("MHEFT beat HEFT on only %d/8 chain-heavy graphs", wins)
+	}
+}
+
+func TestCPAEqualsSCRAPBetaOne(t *testing.T) {
+	g := daggen.Generate(daggen.FamilyFFT, rand.New(rand.NewSource(3)))
+	ref := platform.Sophia().ReferenceCluster()
+	a := CPA(g, ref)
+	if a.Beta != 1 {
+		t.Fatalf("CPA beta = %g", a.Beta)
+	}
+	// CPA invariant at fixpoint: average area does not exceed the critical
+	// path by more than one growth step.
+	if a.TotalArea()/a.CriticalPathLength() > ref.Power()*(1+1e-9) {
+		t.Fatal("CPA fixpoint violates area/CP <= total power")
+	}
+}
+
+func TestHCPASchedulesValidly(t *testing.T) {
+	pf := platform.Sophia()
+	for seed := int64(0); seed < 5; seed++ {
+		g := daggen.Generate(daggen.Family(uint64(seed)%3), rand.New(rand.NewSource(seed)))
+		s := HCPA(pf, g)
+		if err := trace.Validate(s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.GlobalMakespan() <= 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+	}
+}
+
+// Property: all baselines produce valid schedules on all platforms.
+func TestBaselinesValidProperty(t *testing.T) {
+	sites := platform.Grid5000Sites()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pf := sites[int(uint64(seed)%4)]
+		g := daggen.Generate(daggen.Family(r.Intn(3)), r)
+		for _, s := range []interface {
+			GlobalMakespan() float64
+		}{HEFT(pf, g), MHEFT(pf, g), HCPA(pf, g)} {
+			if s.GlobalMakespan() <= 0 {
+				return false
+			}
+		}
+		return trace.Validate(HEFT(pf, g)) == nil &&
+			trace.Validate(MHEFT(pf, g)) == nil &&
+			trace.Validate(HCPA(pf, g)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package core assembles the paper's complete concurrent PTG scheduler: a
+// resource-constraint determination strategy (§6) feeding the constrained
+// allocation procedure SCRAP-MAX (§4), whose per-application allocations
+// are then mapped together by the concurrent ready-task list mapper (§5).
+//
+// It also provides the dedicated-platform scheduling used to measure
+// M_own(a), the makespan an application achieves with the resources on its
+// own — the numerator of the slowdown metric (Eq. 3).
+package core
+
+import (
+	"fmt"
+
+	"ptgsched/internal/alloc"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/metrics"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/simexec"
+	"ptgsched/internal/strategy"
+)
+
+// Scheduler schedules batches of PTGs on one multi-cluster platform. The
+// zero value of Options selects the paper's configuration: SCRAP-MAX
+// allocation, ready-task ordering, allocation packing on.
+type Scheduler struct {
+	Platform *platform.Platform
+	// Procedure is the allocation procedure (default SCRAPMAX; the paper
+	// only evaluates SCRAP-MAX, SCRAP is kept for ablation).
+	Procedure alloc.Procedure
+	// MapOptions tunes the mapping step.
+	MapOptions mapping.Options
+}
+
+// New returns a scheduler for pf in the paper's configuration.
+func New(pf *platform.Platform) *Scheduler {
+	return &Scheduler{Platform: pf, Procedure: alloc.SCRAPMAX}
+}
+
+// Result is the outcome of scheduling one batch of PTGs: the β constraints
+// chosen by the strategy, the per-application allocations, the mapped
+// schedule, and the simulated execution (per-application makespans under
+// actual network contention).
+type Result struct {
+	Strategy    strategy.Strategy
+	Betas       []float64
+	Allocations []*alloc.Allocation
+	Schedule    *mapping.Schedule
+	Exec        *simexec.Result
+}
+
+// Makespan returns the simulated completion time of application i.
+func (r *Result) Makespan(i int) float64 { return r.Exec.AppMakespans[i] }
+
+// GlobalMakespan returns the simulated completion time of the whole batch.
+func (r *Result) GlobalMakespan() float64 { return r.Exec.Makespan }
+
+// Schedule runs the full pipeline on a batch of concurrently-submitted
+// PTGs under the given constraint-determination strategy.
+func (s *Scheduler) Schedule(graphs []*dag.Graph, strat strategy.Strategy) *Result {
+	if len(graphs) == 0 {
+		panic("core: empty batch")
+	}
+	ref := s.Platform.ReferenceCluster()
+	betas := strat.Betas(graphs, ref)
+	apps := make([]*alloc.Allocation, len(graphs))
+	for i, g := range graphs {
+		apps[i] = alloc.Compute(g, ref, betas[i], s.Procedure)
+	}
+	sched := mapping.Map(s.Platform, apps, s.MapOptions)
+	return &Result{
+		Strategy:    strat,
+		Betas:       betas,
+		Allocations: apps,
+		Schedule:    sched,
+		Exec:        simexec.Execute(sched),
+	}
+}
+
+// ScheduleAlone schedules a single PTG with the whole platform to itself
+// (β = 1), the configuration M_own is measured in. The returned makespan is
+// the simulated one.
+func (s *Scheduler) ScheduleAlone(g *dag.Graph) float64 {
+	return s.Schedule([]*dag.Graph{g}, strategy.S()).Makespan(0)
+}
+
+// Evaluation bundles the paper's metrics for one scheduled batch.
+type Evaluation struct {
+	Slowdowns  []float64
+	Unfairness float64
+	// Makespan is the batch's global simulated completion time.
+	Makespan float64
+}
+
+// Evaluate computes the slowdown of each application (against the provided
+// M_own values) and the batch unfairness.
+func (r *Result) Evaluate(own []float64) Evaluation {
+	if len(own) != len(r.Exec.AppMakespans) {
+		panic(fmt.Sprintf("core: %d own makespans for %d applications",
+			len(own), len(r.Exec.AppMakespans)))
+	}
+	sl := make([]float64, len(own))
+	for i := range sl {
+		sl[i] = metrics.Slowdown(own[i], r.Exec.AppMakespans[i])
+	}
+	return Evaluation{
+		Slowdowns:  sl,
+		Unfairness: metrics.Unfairness(sl),
+		Makespan:   r.Exec.Makespan,
+	}
+}

@@ -1,0 +1,184 @@
+package dag
+
+import "fmt"
+
+// PrecedenceLevels returns, for each task (indexed by ID), its precedence
+// level as defined in §4 of the paper: a task is at level a ≥ 0 if all its
+// predecessors are at levels < a and at least one predecessor is at level
+// a−1; entry tasks are at level 0. This is the longest path from an entry
+// task counted in edges.
+func (g *Graph) PrecedenceLevels() []int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	levels := make([]int, len(g.Tasks))
+	for _, t := range order {
+		lvl := 0
+		for _, e := range t.in {
+			if l := levels[e.From.ID] + 1; l > lvl {
+				lvl = l
+			}
+		}
+		levels[t.ID] = lvl
+	}
+	return levels
+}
+
+// LevelSets groups tasks by precedence level, ordered by level.
+func (g *Graph) LevelSets() [][]*Task {
+	levels := g.PrecedenceLevels()
+	max := 0
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	sets := make([][]*Task, max+1)
+	for _, t := range g.Tasks {
+		sets[levels[t.ID]] = append(sets[levels[t.ID]], t)
+	}
+	return sets
+}
+
+// MaxWidth returns the size of the largest precedence level: the maximal
+// task parallelism the PTG can exploit. This is the "width" characteristic
+// used by the PS-width and WPS-width strategies (§6).
+func (g *Graph) MaxWidth() int {
+	w := 0
+	for _, set := range g.LevelSets() {
+		if len(set) > w {
+			w = len(set)
+		}
+	}
+	return w
+}
+
+// Depth returns the number of precedence levels.
+func (g *Graph) Depth() int { return len(g.LevelSets()) }
+
+// TimeFunc gives the (estimated) execution time of a task in seconds under
+// some allocation; CommFunc gives the (estimated) transfer time of an edge.
+// They parameterize bottom levels and critical paths so the same analyses
+// serve the allocator (reference-cluster times) and the mapper (placed
+// times).
+type (
+	TimeFunc func(*Task) float64
+	CommFunc func(*Edge) float64
+)
+
+// ZeroComm is a CommFunc that ignores communication.
+func ZeroComm(*Edge) float64 { return 0 }
+
+// BottomLevels returns, indexed by task ID, each task's bottom level: its
+// execution time plus the maximum over successors of edge cost plus the
+// successor's bottom level — the distance to the end of the application
+// (§5). The mapper sorts ready tasks by decreasing bottom level.
+func (g *Graph) BottomLevels(timeOf TimeFunc, commOf CommFunc) []float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	bl := make([]float64, len(g.Tasks))
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		best := 0.0
+		for _, e := range t.out {
+			v := commOf(e) + bl[e.To.ID]
+			if v > best {
+				best = v
+			}
+		}
+		bl[t.ID] = timeOf(t) + best
+	}
+	return bl
+}
+
+// TopLevels returns, indexed by task ID, the length of the longest path
+// from an entry task to the task, excluding the task's own time.
+func (g *Graph) TopLevels(timeOf TimeFunc, commOf CommFunc) []float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	tl := make([]float64, len(g.Tasks))
+	for _, t := range order {
+		best := 0.0
+		for _, e := range t.in {
+			v := tl[e.From.ID] + timeOf(e.From) + commOf(e)
+			if v > best {
+				best = v
+			}
+		}
+		tl[t.ID] = best
+	}
+	return tl
+}
+
+// CriticalPathLength returns the length of the critical path: the maximal
+// bottom level over entry tasks. This is the "critical path" characteristic
+// used by the PS-cp and WPS-cp strategies (§6).
+func (g *Graph) CriticalPathLength(timeOf TimeFunc, commOf CommFunc) float64 {
+	bl := g.BottomLevels(timeOf, commOf)
+	best := 0.0
+	for _, t := range g.Entries() {
+		if bl[t.ID] > best {
+			best = bl[t.ID]
+		}
+	}
+	return best
+}
+
+// CriticalPath returns one maximal-length chain of tasks from an entry to
+// an exit under the given time and communication estimates. Ties are broken
+// by task ID for determinism.
+func (g *Graph) CriticalPath(timeOf TimeFunc, commOf CommFunc) []*Task {
+	bl := g.BottomLevels(timeOf, commOf)
+	var cur *Task
+	for _, t := range g.Entries() {
+		if cur == nil || bl[t.ID] > bl[cur.ID] {
+			cur = t
+		}
+	}
+	if cur == nil {
+		return nil
+	}
+	path := []*Task{cur}
+	for len(cur.out) > 0 {
+		var next *Task
+		var nextVal float64
+		for _, e := range cur.out {
+			v := commOf(e) + bl[e.To.ID]
+			if next == nil || v > nextVal {
+				next, nextVal = e.To, v
+			}
+		}
+		const tol = 1e-12
+		if bl[cur.ID]-timeOf(cur) > nextVal+tol {
+			// The chain through successors is shorter than the recorded
+			// bottom level: numerical inconsistency in the caller's
+			// estimates.
+			panic(fmt.Sprintf("dag: inconsistent bottom levels at %q", cur.Name))
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// OnCriticalPath returns a boolean per task ID marking tasks whose top
+// level + time + bottom level equals the critical path length (within
+// tolerance): the set of critical tasks the allocator may widen.
+func (g *Graph) OnCriticalPath(timeOf TimeFunc, commOf CommFunc) []bool {
+	bl := g.BottomLevels(timeOf, commOf)
+	tl := g.TopLevels(timeOf, commOf)
+	cp := g.CriticalPathLength(timeOf, commOf)
+	const relTol = 1e-9
+	marks := make([]bool, len(g.Tasks))
+	for _, t := range g.Tasks {
+		if tl[t.ID]+bl[t.ID] >= cp*(1-relTol) {
+			marks[t.ID] = true
+		}
+	}
+	return marks
+}

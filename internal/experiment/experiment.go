@@ -1,0 +1,232 @@
+// Package experiment implements the paper's evaluation protocol (§7): for
+// each number of concurrent PTGs (2–10), generate 25 random PTG
+// combinations, schedule each combination on the four Grid'5000 platforms
+// (= 100 runs per point) under every strategy, simulate the executions, and
+// aggregate unfairness, average makespan and average relative makespan.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ptgsched/internal/core"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/metrics"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/strategy"
+)
+
+// Config describes one experiment campaign. Zero fields take the paper's
+// defaults (see Defaults).
+type Config struct {
+	// Family selects the PTG family (random, FFT, Strassen).
+	Family daggen.Family
+	// NPTGs lists the numbers of concurrent PTGs; default {2,4,6,8,10}.
+	NPTGs []int
+	// Reps is the number of random PTG combinations per point; default 25
+	// (so 100 runs per point over the 4 default platforms).
+	Reps int
+	// Platforms are the target sites; default the four Grid'5000 subsets.
+	Platforms []*platform.Platform
+	// Strategies to compare; default strategy.PaperSet(Family). Labels, if
+	// set, must be aligned with Strategies and override display names
+	// (used by the µ sweep).
+	Strategies []strategy.Strategy
+	Labels     []string
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// Workers bounds the number of concurrent runs; default NumCPU.
+	Workers int
+}
+
+// Defaults returns cfg with unset fields filled with the paper's protocol.
+func (cfg Config) Defaults() Config {
+	if cfg.NPTGs == nil {
+		cfg.NPTGs = []int{2, 4, 6, 8, 10}
+	}
+	if cfg.Reps == 0 {
+		cfg.Reps = 25
+	}
+	if cfg.Platforms == nil {
+		cfg.Platforms = platform.Grid5000Sites()
+	}
+	if cfg.Strategies == nil {
+		cfg.Strategies = strategy.PaperSet(cfg.Family)
+	}
+	if cfg.Labels == nil {
+		cfg.Labels = make([]string, len(cfg.Strategies))
+		for i, s := range cfg.Strategies {
+			cfg.Labels[i] = s.Name()
+		}
+	}
+	if len(cfg.Labels) != len(cfg.Strategies) {
+		panic("experiment: Labels not aligned with Strategies")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	return cfg
+}
+
+// Point aggregates one (number of PTGs) measurement across runs: one value
+// per strategy, averaged over Reps × len(Platforms) runs.
+type Point struct {
+	NPTGs int
+	// Unfairness[s] is the mean unfairness of strategy s (Eq. 5).
+	Unfairness []float64
+	// AvgMakespan[s] is the mean simulated global makespan in seconds
+	// (used by Fig. 2, which reports absolute makespans).
+	AvgMakespan []float64
+	// RelMakespan[s] is the mean relative makespan: per run, each
+	// strategy's makespan divided by the best strategy's makespan of that
+	// run (used by Figs. 3–5).
+	RelMakespan []float64
+	// UnfairnessStd and RelMakespanStd are sample standard deviations
+	// across runs, for error reporting.
+	UnfairnessStd  []float64
+	RelMakespanStd []float64
+	// Runs is the number of runs aggregated.
+	Runs int
+}
+
+// Result is a full campaign outcome.
+type Result struct {
+	Config Config
+	Points []Point
+}
+
+// runKey identifies one run of the campaign.
+type runKey struct {
+	point    int // index into cfg.NPTGs
+	rep      int
+	platform int
+}
+
+// runOut carries one run's per-strategy measurements.
+type runOut struct {
+	key        runKey
+	unfairness []float64
+	makespan   []float64
+	rel        []float64
+}
+
+// Run executes the campaign and aggregates the paper's metrics.
+func Run(cfg Config) *Result {
+	cfg = cfg.Defaults()
+
+	var keys []runKey
+	for pi := range cfg.NPTGs {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			for fi := range cfg.Platforms {
+				keys = append(keys, runKey{point: pi, rep: rep, platform: fi})
+			}
+		}
+	}
+
+	outs := make([]runOut, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, key := range keys {
+		i, key := i, key
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			outs[i] = oneRun(cfg, key)
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{Config: cfg}
+	ns := len(cfg.Strategies)
+	for pi, n := range cfg.NPTGs {
+		perStratUnf := make([][]float64, ns)
+		perStratMak := make([][]float64, ns)
+		perStratRel := make([][]float64, ns)
+		runs := 0
+		for _, out := range outs {
+			if out.key.point != pi {
+				continue
+			}
+			runs++
+			for s := 0; s < ns; s++ {
+				perStratUnf[s] = append(perStratUnf[s], out.unfairness[s])
+				perStratMak[s] = append(perStratMak[s], out.makespan[s])
+				perStratRel[s] = append(perStratRel[s], out.rel[s])
+			}
+		}
+		pt := Point{
+			NPTGs:          n,
+			Unfairness:     make([]float64, ns),
+			AvgMakespan:    make([]float64, ns),
+			RelMakespan:    make([]float64, ns),
+			UnfairnessStd:  make([]float64, ns),
+			RelMakespanStd: make([]float64, ns),
+			Runs:           runs,
+		}
+		for s := 0; s < ns; s++ {
+			pt.Unfairness[s] = metrics.Mean(perStratUnf[s])
+			pt.AvgMakespan[s] = metrics.Mean(perStratMak[s])
+			pt.RelMakespan[s] = metrics.Mean(perStratRel[s])
+			pt.UnfairnessStd[s] = metrics.StdDev(perStratUnf[s])
+			pt.RelMakespanStd[s] = metrics.StdDev(perStratRel[s])
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// runSeed derives a deterministic seed for one run, independent of
+// execution order. The PTG combination is shared by all platforms of the
+// same (point, rep) pair, as in the paper's "25 random combinations"
+// protocol, so the platform index does not enter the seed.
+func runSeed(base int64, key runKey) int64 {
+	h := uint64(base) * 0x9e3779b97f4a7c15
+	h ^= uint64(key.point+1) * 0xbf58476d1ce4e5b9
+	h ^= uint64(key.rep+1) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h)
+}
+
+// oneRun generates the PTG combination for key, measures every strategy on
+// it, and returns per-strategy unfairness, absolute and relative makespans.
+func oneRun(cfg Config, key runKey) runOut {
+	r := rand.New(rand.NewSource(runSeed(cfg.Seed, key)))
+	n := cfg.NPTGs[key.point]
+	graphs := make([]*dag.Graph, n)
+	for i := range graphs {
+		graphs[i] = daggen.Generate(cfg.Family, r)
+	}
+	pf := cfg.Platforms[key.platform]
+	sched := core.New(pf)
+
+	own := make([]float64, n)
+	for i, g := range graphs {
+		own[i] = sched.ScheduleAlone(g)
+	}
+
+	out := runOut{
+		key:        key,
+		unfairness: make([]float64, len(cfg.Strategies)),
+		makespan:   make([]float64, len(cfg.Strategies)),
+	}
+	for s, strat := range cfg.Strategies {
+		res := sched.Schedule(graphs, strat)
+		ev := res.Evaluate(own)
+		out.unfairness[s] = ev.Unfairness
+		out.makespan[s] = ev.Makespan
+	}
+	out.rel = metrics.RelativeMakespans(out.makespan)
+	return out
+}
+
+// String summarizes a result compactly.
+func (r *Result) String() string {
+	return fmt.Sprintf("experiment(%s, %d strategies, %d points, %d runs/point)",
+		r.Config.Family, len(r.Config.Strategies), len(r.Points),
+		r.Config.Reps*len(r.Config.Platforms))
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/strategy"
+)
+
+// smallConfig keeps campaign tests fast: one platform, few reps, two
+// points.
+func smallConfig(family daggen.Family) Config {
+	return Config{
+		Family:    family,
+		NPTGs:     []int{2, 4},
+		Reps:      2,
+		Platforms: []*platform.Platform{platform.Lille()},
+		Seed:      7,
+		Workers:   4,
+	}
+}
+
+func TestRunProducesAlignedPoints(t *testing.T) {
+	res := Run(smallConfig(daggen.FamilyRandom))
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	ns := len(res.Config.Strategies)
+	if ns != 8 {
+		t.Fatalf("%d strategies, want 8 for random family", ns)
+	}
+	for _, pt := range res.Points {
+		if pt.Runs != 2 {
+			t.Errorf("point %d aggregated %d runs, want 2", pt.NPTGs, pt.Runs)
+		}
+		for _, series := range [][]float64{pt.Unfairness, pt.AvgMakespan, pt.RelMakespan} {
+			if len(series) != ns {
+				t.Fatalf("series length %d, want %d", len(series), ns)
+			}
+		}
+		for s := 0; s < ns; s++ {
+			if pt.Unfairness[s] < 0 {
+				t.Errorf("negative unfairness")
+			}
+			if pt.AvgMakespan[s] <= 0 {
+				t.Errorf("non-positive makespan")
+			}
+			if pt.RelMakespan[s] < 1 {
+				t.Errorf("relative makespan %g < 1", pt.RelMakespan[s])
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := smallConfig(daggen.FamilyStrassen)
+	cfg.Workers = 1
+	seq := Run(cfg)
+	cfg.Workers = 8
+	par := Run(cfg)
+	for p := range seq.Points {
+		for s := range seq.Points[p].Unfairness {
+			if seq.Points[p].Unfairness[s] != par.Points[p].Unfairness[s] {
+				t.Fatalf("unfairness differs across worker counts at point %d strategy %d", p, s)
+			}
+			if seq.Points[p].AvgMakespan[s] != par.Points[p].AvgMakespan[s] {
+				t.Fatalf("makespan differs across worker counts")
+			}
+		}
+	}
+}
+
+func TestSameCombinationAcrossPlatforms(t *testing.T) {
+	// The paper schedules the same 25 PTG combinations on all 4 platforms.
+	key1 := runKey{point: 0, rep: 3, platform: 0}
+	key2 := runKey{point: 0, rep: 3, platform: 2}
+	if runSeed(42, key1) != runSeed(42, key2) {
+		t.Fatal("PTG combination seed differs across platforms")
+	}
+	key3 := runKey{point: 0, rep: 4, platform: 0}
+	if runSeed(42, key1) == runSeed(42, key3) {
+		t.Fatal("different reps share a seed")
+	}
+}
+
+func TestFig2ConfigShape(t *testing.T) {
+	cfg := Fig2Config(1, 5).Defaults()
+	if len(cfg.Strategies) != len(MuSweep) {
+		t.Fatalf("%d strategies, want %d", len(cfg.Strategies), len(MuSweep))
+	}
+	for i, s := range cfg.Strategies {
+		if s.Kind != strategy.WeightedProportionalShare || s.Char != strategy.Work {
+			t.Errorf("strategy %d is %s, want WPS-work", i, s)
+		}
+		if s.Mu != MuSweep[i] {
+			t.Errorf("mu[%d] = %g, want %g", i, s.Mu, MuSweep[i])
+		}
+		if !strings.HasPrefix(cfg.Labels[i], "mu=") {
+			t.Errorf("label %q lacks mu prefix", cfg.Labels[i])
+		}
+	}
+}
+
+func TestFigConfigsFamilies(t *testing.T) {
+	if Fig3Config(1, 1).Family != daggen.FamilyRandom {
+		t.Error("Fig3 family")
+	}
+	if Fig4Config(1, 1).Family != daggen.FamilyFFT {
+		t.Error("Fig4 family")
+	}
+	cfg := Fig5Config(1, 1).Defaults()
+	if cfg.Family != daggen.FamilyStrassen {
+		t.Error("Fig5 family")
+	}
+	if len(cfg.Strategies) != 6 {
+		t.Errorf("Fig5 has %d strategies, want 6", len(cfg.Strategies))
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	res := Run(smallConfig(daggen.FamilyRandom))
+	var buf bytes.Buffer
+	if err := res.RenderTable(&buf, Unfairness); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"unfairness", "#PTGs", "WPS-work", "S"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := Run(smallConfig(daggen.FamilyFFT))
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + len(res.Points)*len(res.Config.Strategies)
+	if len(records) != want {
+		t.Fatalf("%d CSV records, want %d", len(records), want)
+	}
+	if records[0][0] != "family" {
+		t.Errorf("header = %v", records[0])
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Unfairness.String() != "unfairness" || RelMakespan.String() != "average relative makespan" {
+		t.Fatal("Metric.String mismatch")
+	}
+}
+
+func TestDefaultsFillPaperProtocol(t *testing.T) {
+	cfg := Config{Family: daggen.FamilyRandom}.Defaults()
+	if len(cfg.NPTGs) != 5 || cfg.NPTGs[0] != 2 || cfg.NPTGs[4] != 10 {
+		t.Errorf("NPTGs = %v", cfg.NPTGs)
+	}
+	if cfg.Reps != 25 {
+		t.Errorf("Reps = %d, want 25", cfg.Reps)
+	}
+	if len(cfg.Platforms) != 4 {
+		t.Errorf("%d platforms, want 4", len(cfg.Platforms))
+	}
+	if cfg.Reps*len(cfg.Platforms) != 100 {
+		t.Error("runs per point != 100")
+	}
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metric selects which aggregated series to render.
+type Metric int
+
+const (
+	// Unfairness renders Eq. 5 averages (left plots of Figs. 2–5).
+	Unfairness Metric = iota
+	// AvgMakespan renders absolute makespans in seconds (right plot of
+	// Fig. 2).
+	AvgMakespan
+	// RelMakespan renders average relative makespans (right plots of
+	// Figs. 3–5).
+	RelMakespan
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Unfairness:
+		return "unfairness"
+	case AvgMakespan:
+		return "average makespan (s)"
+	case RelMakespan:
+		return "average relative makespan"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+func (p Point) series(m Metric) []float64 {
+	switch m {
+	case Unfairness:
+		return p.Unfairness
+	case AvgMakespan:
+		return p.AvgMakespan
+	case RelMakespan:
+		return p.RelMakespan
+	default:
+		panic(fmt.Sprintf("experiment: unknown metric %d", int(m)))
+	}
+}
+
+// RenderTable writes an aligned text table of the chosen metric: one row
+// per number of concurrent PTGs, one column per strategy.
+func (r *Result) RenderTable(w io.Writer, m Metric) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s PTGs (%d runs/point)\n",
+		m, r.Config.Family, r.Config.Reps*len(r.Config.Platforms))
+	fmt.Fprintf(&b, "%-7s", "#PTGs")
+	for _, label := range r.Config.Labels {
+		fmt.Fprintf(&b, "%12s", label)
+	}
+	b.WriteByte('\n')
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-7d", pt.NPTGs)
+		for _, v := range pt.series(m) {
+			fmt.Fprintf(&b, "%12.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV exports every metric of every point in long form:
+// family,nptgs,strategy,unfairness,unfairness_std,avg_makespan,rel_makespan,rel_makespan_std,runs.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"family", "nptgs", "strategy",
+		"unfairness", "unfairness_std",
+		"avg_makespan_s", "rel_makespan", "rel_makespan_std", "runs",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, pt := range r.Points {
+		for s, label := range r.Config.Labels {
+			rec := []string{
+				r.Config.Family.String(),
+				strconv.Itoa(pt.NPTGs),
+				label,
+				f(pt.Unfairness[s]), f(pt.UnfairnessStd[s]),
+				f(pt.AvgMakespan[s]), f(pt.RelMakespan[s]), f(pt.RelMakespanStd[s]),
+				strconv.Itoa(pt.Runs),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

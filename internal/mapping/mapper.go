@@ -1,0 +1,318 @@
+package mapping
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"ptgsched/internal/alloc"
+	"ptgsched/internal/cost"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/platform"
+)
+
+// Map schedules the tasks of all allocated applications onto pf. All
+// applications are submitted at time 0 (the paper's model; different
+// submission times are future work in §8).
+func Map(pf *platform.Platform, apps []*alloc.Allocation, opts Options) *Schedule {
+	m := newMapper(pf, apps, opts)
+	switch opts.Ordering {
+	case ReadyTasks:
+		m.runReady()
+	case Global:
+		m.runGlobal()
+	default:
+		panic(fmt.Sprintf("mapping: unknown ordering %d", int(opts.Ordering)))
+	}
+	return m.sched
+}
+
+// taskRef identifies one task of one application.
+type taskRef struct {
+	app  int
+	task *dag.Task
+}
+
+type mapper struct {
+	pf    *platform.Platform
+	apps  []*alloc.Allocation
+	opts  Options
+	sched *Schedule
+
+	// avail[k][i] is the time at which processor i of cluster k becomes
+	// free under the reservations made so far.
+	avail [][]float64
+	// bl[app][taskID] is the task's bottom level under its reference
+	// allocation (computation only, per §5).
+	bl [][]float64
+}
+
+func newMapper(pf *platform.Platform, apps []*alloc.Allocation, opts Options) *mapper {
+	m := &mapper{
+		pf:   pf,
+		apps: apps,
+		opts: opts,
+		sched: &Schedule{
+			Platform: pf,
+			Apps:     apps,
+			byTask:   make(map[*dag.Task]*Placement),
+		},
+	}
+	m.avail = make([][]float64, len(pf.Clusters))
+	for k, c := range pf.Clusters {
+		m.avail[k] = make([]float64, c.Procs)
+	}
+	m.bl = make([][]float64, len(apps))
+	for i, a := range apps {
+		m.bl[i] = a.Graph.BottomLevels(a.TimeOf, dag.ZeroComm)
+	}
+	return m
+}
+
+// priority orders by decreasing bottom level; ties by application then task
+// ID for determinism.
+func (m *mapper) less(a, b taskRef) bool {
+	ba, bb := m.bl[a.app][a.task.ID], m.bl[b.app][b.task.ID]
+	if ba != bb {
+		return ba > bb
+	}
+	if a.app != b.app {
+		return a.app < b.app
+	}
+	return a.task.ID < b.task.ID
+}
+
+// candidate is one (cluster, width) option for a task.
+type candidate struct {
+	cluster *platform.Cluster
+	procs   int
+	start   float64
+	end     float64
+}
+
+// bestOnCluster evaluates placing task t of application app on cluster c.
+// dataReady is the earliest time all predecessor data can be at c. The
+// translated allocation width may be reduced by allocation packing.
+func (m *mapper) bestOnCluster(app int, t *dag.Task, c *platform.Cluster, dataReady float64) candidate {
+	a := m.apps[app]
+	want := alloc.Translate(a.Procs[t.ID], a.Ref, c)
+
+	free := append([]float64(nil), m.avail[c.Index]...)
+	sort.Float64s(free)
+
+	eval := func(q int) (start, end float64) {
+		start = math.Max(dataReady, free[q-1])
+		return start, start + cost.TaskTime(t, c.Speed, q)
+	}
+
+	best := candidate{cluster: c, procs: want}
+	best.start, best.end = eval(want)
+	if m.opts.NoPacking {
+		return best
+	}
+	// Allocation packing (§5): accept a narrower allocation iff the task
+	// starts earlier and finishes no later. Among admissible widths prefer
+	// the earliest finish, then the earliest start, then the widest
+	// allocation.
+	for q := want - 1; q >= 1; q-- {
+		start, end := eval(q)
+		if start >= best.start && q != want {
+			// Narrower cannot start later than a wider allocation's
+			// processors allow; once start stops improving, no smaller q
+			// will help (free[] is sorted).
+			break
+		}
+		if start < best.start && end <= best.end {
+			if end < best.end || start < best.start {
+				best = candidate{cluster: c, procs: q, start: start, end: end}
+			}
+		}
+	}
+	return best
+}
+
+// place maps task t of application app given per-cluster data-ready times,
+// choosing the earliest-finish candidate across clusters (ties: earlier
+// start, then fewer processors, then cluster index). It reserves the
+// processors and records the placement.
+func (m *mapper) place(app int, t *dag.Task, dataReadyAt func(*platform.Cluster) float64) *Placement {
+	var best candidate
+	found := false
+	for _, c := range m.pf.Clusters {
+		cand := m.bestOnCluster(app, t, c, dataReadyAt(c))
+		if !found || better(cand, best) {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		panic("mapping: no cluster available")
+	}
+
+	// Reserve the q earliest-available processors of the chosen cluster.
+	k := best.cluster.Index
+	idx := make([]int, len(m.avail[k]))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return m.avail[k][idx[i]] < m.avail[k][idx[j]] })
+	procs := append([]int(nil), idx[:best.procs]...)
+	sort.Ints(procs)
+	for _, i := range procs {
+		m.avail[k][i] = best.end
+	}
+
+	p := &Placement{
+		App:     app,
+		Task:    t,
+		Cluster: best.cluster,
+		Procs:   procs,
+		Start:   best.start,
+		End:     best.end,
+	}
+	m.sched.Placements = append(m.sched.Placements, p)
+	m.sched.byTask[t] = p
+	return p
+}
+
+func better(a, b candidate) bool {
+	const tol = 1e-12
+	if math.Abs(a.end-b.end) > tol {
+		return a.end < b.end
+	}
+	if math.Abs(a.start-b.start) > tol {
+		return a.start < b.start
+	}
+	if a.procs != b.procs {
+		return a.procs < b.procs
+	}
+	return a.cluster.Index < b.cluster.Index
+}
+
+// dataReadyFunc returns the data-ready-time function of task t given the
+// placements of its predecessors: for each candidate cluster, the latest
+// predecessor end plus the (contention-free) redistribution estimate.
+func (m *mapper) dataReadyFunc(t *dag.Task) func(*platform.Cluster) float64 {
+	type feed struct {
+		end   float64
+		from  *platform.Cluster
+		bytes float64
+	}
+	feeds := make([]feed, 0, len(t.In()))
+	for _, e := range t.In() {
+		p := m.sched.byTask[e.From]
+		if p == nil {
+			panic(fmt.Sprintf("mapping: predecessor %q not yet placed", e.From.Name))
+		}
+		feeds = append(feeds, feed{end: p.End, from: p.Cluster, bytes: e.Bytes})
+	}
+	return func(c *platform.Cluster) float64 {
+		ready := 0.0
+		for _, f := range feeds {
+			at := f.end + m.pf.TransferTime(f.from, c, f.bytes)
+			if at > ready {
+				ready = at
+			}
+		}
+		return ready
+	}
+}
+
+// runReady implements the paper's procedure: a virtual clock advances
+// through task completion events; at each instant every ready task (all
+// predecessors finished) is mapped in decreasing bottom-level order.
+func (m *mapper) runReady() {
+	remainingPreds := make([]map[*dag.Task]int, len(m.apps))
+	total := 0
+	for i, a := range m.apps {
+		remainingPreds[i] = make(map[*dag.Task]int, len(a.Graph.Tasks))
+		for _, t := range a.Graph.Tasks {
+			remainingPreds[i][t] = len(t.In())
+		}
+		total += len(a.Graph.Tasks)
+	}
+
+	// completions orders mapped-but-not-finished tasks by end time.
+	var completions completionHeap
+
+	// ready holds tasks whose predecessors have all finished.
+	var ready []taskRef
+	for i, a := range m.apps {
+		for _, t := range a.Graph.Tasks {
+			if len(t.In()) == 0 {
+				ready = append(ready, taskRef{i, t})
+			}
+		}
+	}
+
+	mapped := 0
+	for mapped < total {
+		if len(ready) == 0 {
+			if completions.Len() == 0 {
+				panic("mapping: no ready tasks and no pending completions")
+			}
+			// Advance the clock to the next completion (and all
+			// completions at the same instant) to release successors.
+			c := heap.Pop(&completions).(completion)
+			m.release(c, remainingPreds, &ready)
+			for completions.Len() > 0 && completions[0].end == c.end {
+				m.release(heap.Pop(&completions).(completion), remainingPreds, &ready)
+			}
+			continue
+		}
+		sort.Slice(ready, func(i, j int) bool { return m.less(ready[i], ready[j]) })
+		for _, ref := range ready {
+			p := m.place(ref.app, ref.task, m.dataReadyFunc(ref.task))
+			heap.Push(&completions, completion{ref: ref, end: p.End})
+			mapped++
+		}
+		ready = ready[:0]
+	}
+}
+
+func (m *mapper) release(c completion, remainingPreds []map[*dag.Task]int, ready *[]taskRef) {
+	for _, e := range c.ref.task.Out() {
+		succ := e.To
+		remainingPreds[c.ref.app][succ]--
+		if remainingPreds[c.ref.app][succ] == 0 {
+			*ready = append(*ready, taskRef{c.ref.app, succ})
+		}
+	}
+}
+
+// runGlobal implements the classical aggregated ordering: all tasks of all
+// applications are sorted once by decreasing bottom level and mapped in
+// that order (predecessors always precede successors since bottom levels
+// strictly decrease along edges).
+func (m *mapper) runGlobal() {
+	var all []taskRef
+	for i, a := range m.apps {
+		for _, t := range a.Graph.Tasks {
+			all = append(all, taskRef{i, t})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return m.less(all[i], all[j]) })
+	for _, ref := range all {
+		m.place(ref.app, ref.task, m.dataReadyFunc(ref.task))
+	}
+}
+
+type completion struct {
+	ref taskRef
+	end float64
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}

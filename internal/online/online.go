@@ -1,0 +1,449 @@
+// Package online implements the paper's future-work direction (§8):
+// concurrent PTGs with *different submission times*. On every application
+// arrival — and, optionally, on every application completion — the resource
+// constraints β of the active applications are recomputed with the chosen
+// strategy, the allocations of their not-yet-started tasks are rebuilt
+// under the new constraints, and committed-but-not-started placements are
+// revoked and remapped ("the schedules of the already running applications
+// may have to be reconsidered").
+//
+// The driver is an event-driven scheduler over the mapper's cost model:
+// decision instants are application arrivals and task completions; at each
+// instant, the ready tasks of all active applications are mapped in
+// decreasing bottom-level order exactly as the offline mapper does.
+// Completion times follow the mapping cost model (computation via Amdahl's
+// law, contention-free redistribution estimates); network contention
+// replay, as simexec does offline, is orthogonal to the policy decisions
+// studied here.
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"ptgsched/internal/alloc"
+	"ptgsched/internal/cost"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/strategy"
+)
+
+// Arrival is one application submission.
+type Arrival struct {
+	Graph *dag.Graph
+	// At is the submission time in seconds; arrivals need not be sorted.
+	At float64
+}
+
+// Options tunes the online scheduler. The zero value uses the paper's
+// offline defaults: SCRAP-MAX allocation, packing on, rebalancing on both
+// arrivals and completions.
+type Options struct {
+	// Strategy determines β over the set of *active* applications at each
+	// rebalance point. The zero value is the selfish strategy.
+	Strategy strategy.Strategy
+	// Procedure is the allocation procedure (default SCRAP-MAX).
+	Procedure alloc.Procedure
+	// NoPacking disables allocation packing during mapping.
+	NoPacking bool
+	// NoRebalanceOnCompletion keeps the constraints computed at the last
+	// arrival until the next arrival, instead of redistributing a finished
+	// application's share immediately (§8 mentions both directions).
+	NoRebalanceOnCompletion bool
+}
+
+// AppResult reports one application's outcome.
+type AppResult struct {
+	// SubmittedAt echoes the arrival time.
+	SubmittedAt float64
+	// StartedAt is when the application's first task began executing.
+	StartedAt float64
+	// CompletedAt is when its last task finished.
+	CompletedAt float64
+}
+
+// FlowTime is the application's sojourn time: completion minus submission.
+func (a AppResult) FlowTime() float64 { return a.CompletedAt - a.SubmittedAt }
+
+// Result is the outcome of an online scheduling run.
+type Result struct {
+	Apps []AppResult
+	// Makespan is the completion time of the last application.
+	Makespan float64
+	// Placements lists every task placement in commit order (App indexes
+	// the arrival order).
+	Placements []*mapping.Placement
+	// Rebalances counts how many times the constraints were recomputed.
+	Rebalances int
+}
+
+// taskState tracks one task through the online run.
+type taskState int
+
+const (
+	taskPending   taskState = iota // not all predecessors finished
+	taskReady                      // ready, not yet committed to processors
+	taskCommitted                  // placed, start time in the future
+	taskRunning                    // placed, executing
+	taskDone
+)
+
+type onlineTask struct {
+	app   int
+	task  *dag.Task
+	state taskState
+	// remainingPreds counts unfinished predecessors.
+	remainingPreds int
+	placement      *mapping.Placement
+}
+
+// scheduler is the online driver's mutable state.
+type scheduler struct {
+	pf   *platform.Platform
+	opts Options
+	ref  platform.Reference
+
+	arrivals []Arrival
+	tasks    [][]*onlineTask // [app][taskID]
+	allocs   []*alloc.Allocation
+	bl       [][]float64
+	arrived  []bool
+	done     []int // finished task count per app
+	result   *Result
+
+	// avail[k][i]: when processor i of cluster k frees up, considering
+	// running and committed placements.
+	avail [][]float64
+
+	events eventHeap
+	now    float64
+}
+
+// Schedule runs the online scheduler over the given arrivals.
+func Schedule(pf *platform.Platform, arrivals []Arrival, opts Options) *Result {
+	if len(arrivals) == 0 {
+		panic("online: no arrivals")
+	}
+	s := &scheduler{pf: pf, opts: opts, ref: pf.ReferenceCluster()}
+	s.arrivals = append([]Arrival(nil), arrivals...)
+	s.result = &Result{Apps: make([]AppResult, len(arrivals))}
+
+	s.tasks = make([][]*onlineTask, len(arrivals))
+	s.allocs = make([]*alloc.Allocation, len(arrivals))
+	s.bl = make([][]float64, len(arrivals))
+	s.arrived = make([]bool, len(arrivals))
+	s.done = make([]int, len(arrivals))
+	for i, a := range s.arrivals {
+		if a.At < 0 {
+			panic(fmt.Sprintf("online: negative arrival time %g", a.At))
+		}
+		if err := a.Graph.Validate(false); err != nil {
+			panic(fmt.Sprintf("online: app %d: %v", i, err))
+		}
+		s.tasks[i] = make([]*onlineTask, len(a.Graph.Tasks))
+		for _, t := range a.Graph.Tasks {
+			s.tasks[i][t.ID] = &onlineTask{app: i, task: t, remainingPreds: len(t.In())}
+		}
+		s.result.Apps[i] = AppResult{SubmittedAt: a.At, StartedAt: math.Inf(1)}
+		heap.Push(&s.events, event{at: a.At, kind: evArrival, app: i})
+	}
+
+	s.avail = make([][]float64, len(pf.Clusters))
+	for k, c := range pf.Clusters {
+		s.avail[k] = make([]float64, c.Procs)
+	}
+
+	s.run()
+	return s.result
+}
+
+// stale reports whether a completion event refers to a revoked placement
+// (the task was re-committed with a different placement, or is no longer
+// placed at all).
+func stale(ev event) bool {
+	return ev.kind == evCompletion && ev.ot.placement != ev.placement
+}
+
+func (s *scheduler) run() {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if stale(ev) {
+			continue
+		}
+		s.now = ev.at
+		s.handle(ev)
+		// Drain all events at the same instant before making decisions.
+		for s.events.Len() > 0 && s.events[0].at == s.now {
+			nxt := heap.Pop(&s.events).(event)
+			if stale(nxt) {
+				continue
+			}
+			s.handle(nxt)
+		}
+		s.dispatch()
+	}
+}
+
+func (s *scheduler) handle(ev event) {
+	switch ev.kind {
+	case evArrival:
+		s.onArrival(ev.app)
+	case evCompletion:
+		s.onCompletion(ev.ot)
+	}
+}
+
+func (s *scheduler) onArrival(app int) {
+	s.arrived[app] = true
+	for _, ot := range s.tasks[app] {
+		if ot.remainingPreds == 0 {
+			ot.state = taskReady
+		}
+	}
+	s.rebalance()
+}
+
+func (s *scheduler) onCompletion(ot *onlineTask) {
+	ot.state = taskDone
+	s.done[ot.app]++
+	// Only surviving placements enter the results; revoked commitments
+	// never ran.
+	s.result.Placements = append(s.result.Placements, ot.placement)
+	if ot.placement.Start < s.result.Apps[ot.app].StartedAt {
+		s.result.Apps[ot.app].StartedAt = ot.placement.Start
+	}
+	for _, e := range ot.task.Out() {
+		succ := s.tasks[ot.app][e.To.ID]
+		succ.remainingPreds--
+		if succ.remainingPreds == 0 && succ.state == taskPending {
+			succ.state = taskReady
+		}
+	}
+	if s.done[ot.app] == len(s.tasks[ot.app]) {
+		s.result.Apps[ot.app].CompletedAt = s.now
+		if s.now > s.result.Makespan {
+			s.result.Makespan = s.now
+		}
+		if !s.opts.NoRebalanceOnCompletion {
+			s.rebalance()
+		}
+	}
+}
+
+// activeApps returns the arrived, unfinished applications.
+func (s *scheduler) activeApps() []int {
+	var ids []int
+	for i := range s.arrivals {
+		if s.arrived[i] && s.done[i] < len(s.tasks[i]) {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// rebalance recomputes β over the active set, reallocates every active
+// application's unfinished-and-not-running tasks, and revokes committed
+// placements so dispatch can remap them under the new allocations.
+func (s *scheduler) rebalance() {
+	active := s.activeApps()
+	if len(active) == 0 {
+		return
+	}
+	s.result.Rebalances++
+
+	graphs := make([]*dag.Graph, len(active))
+	for i, app := range active {
+		graphs[i] = s.arrivals[app].Graph
+	}
+	betas := s.opts.Strategy.Betas(graphs, s.ref)
+
+	for i, app := range active {
+		s.allocs[app] = alloc.Compute(graphs[i], s.ref, betas[i], s.opts.Procedure)
+		s.bl[app] = graphs[i].BottomLevels(s.allocs[app].TimeOf, dag.ZeroComm)
+		for _, ot := range s.tasks[app] {
+			if ot.state == taskCommitted && ot.placement.Start > s.now {
+				ot.state = taskReady
+				ot.placement = nil
+			}
+		}
+	}
+	s.rebuildAvail()
+}
+
+// rebuildAvail recomputes processor availability from running and still-
+// committed placements.
+func (s *scheduler) rebuildAvail() {
+	for k := range s.avail {
+		for i := range s.avail[k] {
+			s.avail[k][i] = s.now
+		}
+	}
+	for _, appTasks := range s.tasks {
+		for _, ot := range appTasks {
+			if ot.state != taskRunning && ot.state != taskCommitted {
+				continue
+			}
+			p := ot.placement
+			for _, i := range p.Procs {
+				if p.End > s.avail[p.Cluster.Index][i] {
+					s.avail[p.Cluster.Index][i] = p.End
+				}
+			}
+		}
+	}
+}
+
+// dispatch maps every ready task of every active application at the current
+// instant, in decreasing bottom-level order, exactly like the offline
+// ready-task mapper.
+func (s *scheduler) dispatch() {
+	var ready []*onlineTask
+	for _, app := range s.activeApps() {
+		for _, ot := range s.tasks[app] {
+			if ot.state == taskReady {
+				ready = append(ready, ot)
+			}
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		bi, bj := s.bl[ready[i].app][ready[i].task.ID], s.bl[ready[j].app][ready[j].task.ID]
+		if bi != bj {
+			return bi > bj
+		}
+		if ready[i].app != ready[j].app {
+			return ready[i].app < ready[j].app
+		}
+		return ready[i].task.ID < ready[j].task.ID
+	})
+	for _, ot := range ready {
+		s.commit(ot)
+	}
+}
+
+// commit chooses the earliest-finish (cluster, width) for ot, honouring
+// allocation packing, reserves the processors and schedules its completion.
+func (s *scheduler) commit(ot *onlineTask) {
+	a := s.allocs[ot.app]
+	dataReady := func(c *platform.Cluster) float64 {
+		ready := s.now
+		for _, e := range ot.task.In() {
+			pred := s.tasks[ot.app][e.From.ID]
+			at := pred.placement.End + s.pf.TransferTime(pred.placement.Cluster, c, e.Bytes)
+			if at > ready {
+				ready = at
+			}
+		}
+		return ready
+	}
+
+	type cand struct {
+		cluster *platform.Cluster
+		procs   int
+		start   float64
+		end     float64
+	}
+	var best cand
+	found := false
+	for _, c := range s.pf.Clusters {
+		want := alloc.Translate(a.Procs[ot.task.ID], a.Ref, c)
+		free := append([]float64(nil), s.avail[c.Index]...)
+		sort.Float64s(free)
+		ready := dataReady(c)
+		eval := func(q int) (float64, float64) {
+			start := math.Max(ready, free[q-1])
+			return start, start + cost.TaskTime(ot.task, c.Speed, q)
+		}
+		start, end := eval(want)
+		cc := cand{cluster: c, procs: want, start: start, end: end}
+		if !s.opts.NoPacking {
+			for q := want - 1; q >= 1; q-- {
+				st, en := eval(q)
+				if st >= cc.start {
+					break
+				}
+				if en <= cc.end {
+					cc = cand{cluster: c, procs: q, start: st, end: en}
+				}
+			}
+		}
+		if !found || cc.end < best.end ||
+			(cc.end == best.end && cc.start < best.start) ||
+			(cc.end == best.end && cc.start == best.start && cc.procs < best.procs) {
+			best = cc
+			found = true
+		}
+	}
+	if !found {
+		panic("online: no cluster available")
+	}
+
+	k := best.cluster.Index
+	idx := make([]int, len(s.avail[k]))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return s.avail[k][idx[i]] < s.avail[k][idx[j]] })
+	procs := append([]int(nil), idx[:best.procs]...)
+	sort.Ints(procs)
+	for _, i := range procs {
+		s.avail[k][i] = best.end
+	}
+
+	ot.placement = &mapping.Placement{
+		App:     ot.app,
+		Task:    ot.task,
+		Cluster: best.cluster,
+		Procs:   procs,
+		Start:   best.start,
+		End:     best.end,
+	}
+	if best.start <= s.now {
+		ot.state = taskRunning
+	} else {
+		ot.state = taskCommitted
+	}
+	heap.Push(&s.events, event{at: best.end, kind: evCompletion, ot: ot, placement: ot.placement})
+}
+
+// Event plumbing.
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+)
+
+type event struct {
+	at   float64
+	kind eventKind
+	app  int
+	ot   *onlineTask
+	// placement identifies which commitment a completion event belongs
+	// to; a mismatch with the task's current placement marks it stale.
+	placement *mapping.Placement
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	// Completions before arrivals at the same instant, so a finishing
+	// application releases its share before the newcomer's rebalance.
+	return h[i].kind == evCompletion && h[j].kind == evArrival
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

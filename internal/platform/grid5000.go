@@ -1,0 +1,52 @@
+package platform
+
+// This file encodes Table 1 of the paper: the four multi-cluster subsets of
+// Grid'5000 used throughout the evaluation. Cluster names, processor counts
+// and per-processor speeds (GFlop/s) are reproduced verbatim. Rennes and
+// Lille connect all clusters to one switch; Nancy and Sophia give each
+// cluster its own switch (§2).
+
+// Lille returns the Lille site: Chuque, Chti, Chicon — 99 processors,
+// heterogeneity 20.2%, shared switch.
+func Lille() *Platform {
+	return New("Lille", true,
+		ClusterSpec{Name: "Chuque", Procs: 53, Speed: 3.647},
+		ClusterSpec{Name: "Chti", Procs: 20, Speed: 4.311},
+		ClusterSpec{Name: "Chicon", Procs: 26, Speed: 4.384},
+	)
+}
+
+// Nancy returns the Nancy site: Grillon, Grelon — 167 processors,
+// heterogeneity 6.1%, one switch per cluster.
+func Nancy() *Platform {
+	return New("Nancy", false,
+		ClusterSpec{Name: "Grillon", Procs: 47, Speed: 3.379},
+		ClusterSpec{Name: "Grelon", Procs: 120, Speed: 3.185},
+	)
+}
+
+// Rennes returns the Rennes site: Parasol, Paravent, Paraquad — 229
+// processors, heterogeneity 36.8%, shared switch.
+func Rennes() *Platform {
+	return New("Rennes", true,
+		ClusterSpec{Name: "Parasol", Procs: 64, Speed: 3.573},
+		ClusterSpec{Name: "Paravent", Procs: 99, Speed: 3.364},
+		ClusterSpec{Name: "Paraquad", Procs: 66, Speed: 4.603},
+	)
+}
+
+// Sophia returns the Sophia site: Azur, Helios, Sol — 180 processors,
+// heterogeneity 34.7%, one switch per cluster.
+func Sophia() *Platform {
+	return New("Sophia", false,
+		ClusterSpec{Name: "Azur", Procs: 74, Speed: 3.258},
+		ClusterSpec{Name: "Helios", Procs: 56, Speed: 3.675},
+		ClusterSpec{Name: "Sol", Procs: 50, Speed: 4.389},
+	)
+}
+
+// Grid5000Sites returns fresh instances of the four evaluation platforms in
+// the paper's order: Lille, Nancy, Rennes, Sophia.
+func Grid5000Sites() []*Platform {
+	return []*Platform{Lille(), Nancy(), Rennes(), Sophia()}
+}

@@ -1,0 +1,159 @@
+// Package simexec executes a mapped schedule on the discrete-event
+// simulation engine, the role SimGrid plays in the paper's evaluation (§7):
+// "They account for time taken by computation and data redistribution
+// operations."
+//
+// The mapper (package mapping) works with contention-free transfer-time
+// estimates; simexec replays the schedule with *actual* network contention:
+// every data redistribution is a flow on the platform's links under bounded
+// max-min fair sharing, so concurrent redistributions slow each other down
+// exactly as the site topology dictates (shared switch vs per-cluster
+// switches). Computations keep their mapped processor sets and widths;
+// their start times are determined dynamically by data arrival and by the
+// mapped execution order on each processor.
+package simexec
+
+import (
+	"fmt"
+	"sort"
+
+	"ptgsched/internal/cost"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/sim"
+)
+
+// Result reports the simulated execution of a schedule.
+type Result struct {
+	// AppMakespans is the completion time of each application: the latest
+	// actual end time over its tasks.
+	AppMakespans []float64
+	// Makespan is the completion time of the whole batch.
+	Makespan float64
+	// Starts and Ends give per-task actual times indexed like
+	// Schedule.Placements.
+	Starts, Ends []float64
+}
+
+// execTask tracks the runtime state of one placement.
+type execTask struct {
+	p     *mapping.Placement
+	idx   int // index in schedule.Placements
+	flows int // input flows not yet arrived
+	procs int // processor reservations not yet released by predecessors
+	start float64
+	end   float64
+	done  bool
+	// procSuccs lists tasks waiting for one of this task's processors;
+	// a task appears once per shared processor.
+	procSuccs []*execTask
+}
+
+// Execute replays the schedule and returns the simulated times. It panics
+// if the schedule deadlocks, which only an inconsistent hand-built schedule
+// (circular per-processor orders) can cause.
+func Execute(s *mapping.Schedule) *Result {
+	eng := sim.NewEngine()
+	net := sim.NewFlowNet(eng)
+
+	tasks := make([]*execTask, len(s.Placements))
+	byPlacement := make(map[*mapping.Placement]*execTask, len(s.Placements))
+	for i, p := range s.Placements {
+		et := &execTask{p: p, idx: i, start: -1}
+		tasks[i] = et
+		byPlacement[p] = et
+	}
+
+	// Per-processor execution order: mapped start time, then placement
+	// index for determinism. Each adjacent pair in a queue is a
+	// release-dependence.
+	type procKey struct{ cluster, proc int }
+	queues := make(map[procKey][]*execTask)
+	for _, et := range tasks {
+		for _, proc := range et.p.Procs {
+			key := procKey{et.p.Cluster.Index, proc}
+			queues[key] = append(queues[key], et)
+		}
+	}
+	for _, q := range queues {
+		sort.Slice(q, func(i, j int) bool {
+			if q[i].p.Start != q[j].p.Start {
+				return q[i].p.Start < q[j].p.Start
+			}
+			return q[i].idx < q[j].idx
+		})
+		for i := 1; i < len(q); i++ {
+			q[i].procs++
+			q[i-1].procSuccs = append(q[i-1].procSuccs, q[i])
+		}
+	}
+
+	// Input flows: one per DAG edge, started when the producer finishes.
+	type edgeFlow struct {
+		to    *execTask
+		bytes float64
+	}
+	flowsOut := make(map[*execTask][]edgeFlow)
+	for _, app := range s.Apps {
+		for _, e := range app.Graph.Edges {
+			from := byPlacement[s.PlacementOf(e.From)]
+			to := byPlacement[s.PlacementOf(e.To)]
+			if from == nil || to == nil {
+				panic(fmt.Sprintf("simexec: edge %q->%q not fully placed", e.From.Name, e.To.Name))
+			}
+			to.flows++
+			flowsOut[from] = append(flowsOut[from], edgeFlow{to: to, bytes: e.Bytes})
+		}
+	}
+
+	var tryStart func(et *execTask)
+	finish := func(et *execTask) {
+		et.done = true
+		et.end = eng.Now()
+		for _, succ := range et.procSuccs {
+			succ.procs--
+			tryStart(succ)
+		}
+		for _, ef := range flowsOut[et] {
+			ef := ef
+			route := s.Platform.Route(et.p.Cluster, ef.to.p.Cluster)
+			label := fmt.Sprintf("%s->%s", et.p.Task.Name, ef.to.p.Task.Name)
+			net.Start(label, route, ef.bytes, func(float64) {
+				ef.to.flows--
+				tryStart(ef.to)
+			})
+		}
+	}
+	tryStart = func(et *execTask) {
+		if et.start >= 0 || et.flows > 0 || et.procs > 0 {
+			return
+		}
+		et.start = eng.Now()
+		dur := cost.TaskTime(et.p.Task, et.p.Cluster.Speed, len(et.p.Procs))
+		eng.After(dur, "compute:"+et.p.Task.Name, func() { finish(et) })
+	}
+
+	for _, et := range tasks {
+		tryStart(et)
+	}
+	eng.Run()
+
+	res := &Result{
+		AppMakespans: make([]float64, len(s.Apps)),
+		Starts:       make([]float64, len(tasks)),
+		Ends:         make([]float64, len(tasks)),
+	}
+	for _, et := range tasks {
+		if !et.done {
+			panic(fmt.Sprintf("simexec: deadlock: task %q never ran", et.p.Task.Name))
+		}
+		res.Starts[et.idx] = et.start
+		res.Ends[et.idx] = et.end
+		if et.end > res.AppMakespans[et.p.App] {
+			res.AppMakespans[et.p.App] = et.end
+		}
+		if et.end > res.Makespan {
+			res.Makespan = et.end
+		}
+	}
+	return res
+}

@@ -1,0 +1,196 @@
+package simexec_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptgsched/internal/alloc"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/simexec"
+)
+
+func singleCluster(procs int, speed float64) *platform.Platform {
+	return platform.New("test", true, platform.ClusterSpec{Name: "c0", Procs: procs, Speed: speed})
+}
+
+func handAlloc(g *dag.Graph, ref platform.Reference, procs []int) *alloc.Allocation {
+	return &alloc.Allocation{Graph: g, Ref: ref, Beta: 1, Procs: procs}
+}
+
+func chain(name string, works ...float64) *dag.Graph {
+	g := dag.New(name)
+	var prev *dag.Task
+	for i, w := range works {
+		t := g.AddTask(name+"-"+string(rune('a'+i)), 1, w, 0)
+		if prev != nil {
+			g.MustAddEdge(prev, t, 0)
+		}
+		prev = t
+	}
+	return g
+}
+
+func TestExecuteSingleTask(t *testing.T) {
+	pf := singleCluster(4, 2)
+	g := chain("solo", 8)
+	s := mapping.Map(pf, []*alloc.Allocation{handAlloc(g, pf.ReferenceCluster(), []int{2})}, mapping.Options{})
+	res := simexec.Execute(s)
+	// 8 GFlop on 2 procs × 2 GFlop/s, alpha 0 → 2 s.
+	if math.Abs(res.Makespan-2) > 1e-9 {
+		t.Fatalf("makespan = %g, want 2", res.Makespan)
+	}
+	if res.Starts[0] != 0 {
+		t.Fatalf("start = %g, want 0", res.Starts[0])
+	}
+}
+
+func TestExecuteChainAddsTransferLatency(t *testing.T) {
+	pf := singleCluster(2, 1)
+	g := chain("c", 3, 5) // zero-byte edge: latency only
+	s := mapping.Map(pf, []*alloc.Allocation{handAlloc(g, pf.ReferenceCluster(), []int{1, 1})}, mapping.Options{})
+	res := simexec.Execute(s)
+	want := 3 + platform.LANLatency + 5
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan = %g, want %g", res.Makespan, want)
+	}
+}
+
+func TestExecuteAccountsForDataVolume(t *testing.T) {
+	pf := singleCluster(2, 1)
+	g := dag.New("d")
+	a := g.AddTask("a", 1, 1, 0)
+	b := g.AddTask("b", 1, 1, 0)
+	g.MustAddEdge(a, b, 5e8) // 1 s on the 5e8 B/s intra link
+	s := mapping.Map(pf, []*alloc.Allocation{handAlloc(g, pf.ReferenceCluster(), []int{1, 1})}, mapping.Options{})
+	res := simexec.Execute(s)
+	want := 1 + platform.LANLatency + 1 + 1 // compute + latency + transfer + compute
+	if math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %g, want %g", res.Makespan, want)
+	}
+}
+
+func TestExecuteContentionSlowsConcurrentTransfers(t *testing.T) {
+	// Two independent producer-consumer pairs whose transfers share the
+	// same intra-cluster link: each transfer alone takes 1 s; concurrently
+	// they fair-share the link and take 2 s.
+	pf := singleCluster(4, 1)
+	ref := pf.ReferenceCluster()
+	mk := func(name string) *dag.Graph {
+		g := dag.New(name)
+		a := g.AddTask(name+"-a", 1, 1, 0)
+		b := g.AddTask(name+"-b", 1, 1, 0)
+		g.MustAddEdge(a, b, 5e8)
+		return g
+	}
+	g1, g2 := mk("x"), mk("y")
+	s := mapping.Map(pf, []*alloc.Allocation{
+		handAlloc(g1, ref, []int{1, 1}),
+		handAlloc(g2, ref, []int{1, 1}),
+	}, mapping.Options{})
+	res := simexec.Execute(s)
+	// Mapper estimate ignores contention (~3 s); actual is ~4 s.
+	want := 1 + platform.LANLatency + 2 + 1
+	if math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %g, want %g (contention must slow transfers)", res.Makespan, want)
+	}
+	if res.Makespan <= s.GlobalMakespan() {
+		t.Fatalf("simulated %g should exceed mapper estimate %g under contention",
+			res.Makespan, s.GlobalMakespan())
+	}
+}
+
+func TestExecuteRespectsProcessorOrder(t *testing.T) {
+	// Two single-task apps forced onto one processor: the second must wait.
+	pf := singleCluster(1, 1)
+	ref := pf.ReferenceCluster()
+	g1, g2 := chain("a", 4), chain("b", 2)
+	s := mapping.Map(pf, []*alloc.Allocation{
+		handAlloc(g1, ref, []int{1}),
+		handAlloc(g2, ref, []int{1}),
+	}, mapping.Options{})
+	res := simexec.Execute(s)
+	if math.Abs(res.Makespan-6) > 1e-9 {
+		t.Fatalf("makespan = %g, want 6 (serialized)", res.Makespan)
+	}
+	if math.Abs(res.AppMakespans[0]-4) > 1e-9 || math.Abs(res.AppMakespans[1]-6) > 1e-9 {
+		t.Fatalf("app makespans = %v, want [4 6]", res.AppMakespans)
+	}
+}
+
+func TestExecutePerAppMakespans(t *testing.T) {
+	pf := singleCluster(8, 1)
+	ref := pf.ReferenceCluster()
+	g1, g2 := chain("a", 10), chain("b", 3)
+	s := mapping.Map(pf, []*alloc.Allocation{
+		handAlloc(g1, ref, []int{1}),
+		handAlloc(g2, ref, []int{1}),
+	}, mapping.Options{})
+	res := simexec.Execute(s)
+	if math.Abs(res.AppMakespans[0]-10) > 1e-9 || math.Abs(res.AppMakespans[1]-3) > 1e-9 {
+		t.Fatalf("app makespans = %v", res.AppMakespans)
+	}
+}
+
+// Property: simulated execution completes every placement, produces
+// non-negative monotone spans, and matches the mapper's estimate reasonably
+// (the mapper is optimistic about contention, so actual ≥ estimate − ε is
+// not guaranteed per task, but the global makespan should be within a small
+// factor for these workloads).
+func TestExecuteAgreementProperty(t *testing.T) {
+	sites := platform.Grid5000Sites()
+	f := func(seed int64, nApps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		pf := sites[int(uint64(seed)%4)]
+		n := int(nApps%3) + 1
+		apps := make([]*alloc.Allocation, n)
+		for i := range apps {
+			g := daggen.Generate(daggen.Family(r.Intn(3)), r)
+			apps[i] = alloc.Compute(g, pf.ReferenceCluster(), 1/float64(n), alloc.SCRAPMAX)
+		}
+		s := mapping.Map(pf, apps, mapping.Options{})
+		res := simexec.Execute(s)
+		if res.Makespan <= 0 {
+			return false
+		}
+		for i := range res.Starts {
+			if res.Starts[i] < 0 || res.Ends[i] < res.Starts[i] {
+				return false
+			}
+		}
+		est := s.GlobalMakespan()
+		// Estimates and simulation should agree within an order of
+		// magnitude for LAN platforms. The mapper is contention-blind, so
+		// communication-heavy schedules on the per-cluster-switch sites
+		// (all inter-cluster flows share one backbone) can legitimately
+		// run several times slower than estimated; a 10× divergence would
+		// indicate a simulator or mapper bug.
+		return res.Makespan < est*10 && res.Makespan > est/10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	pf := platform.Nancy()
+	run := func() float64 {
+		r := rand.New(rand.NewSource(5))
+		var apps []*alloc.Allocation
+		for i := 0; i < 4; i++ {
+			g := daggen.Generate(daggen.FamilyFFT, r)
+			apps = append(apps, alloc.Compute(g, pf.ReferenceCluster(), 0.25, alloc.SCRAPMAX))
+		}
+		return simexec.Execute(mapping.Map(pf, apps, mapping.Options{})).Makespan
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic simulation: %g vs %g", got, first)
+		}
+	}
+}

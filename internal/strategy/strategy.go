@@ -1,0 +1,218 @@
+// Package strategy implements the eight resource-constraint determination
+// strategies of §6 of the paper. Given the set A of PTGs to schedule
+// concurrently, each strategy assigns every PTG i a constraint βᵢ ∈ (0, 1]:
+// the fraction of the platform's total processing power PTG i may use to
+// build its schedule.
+//
+//   - S (selfish): βᵢ = 1 — every application may use everything; the
+//     baseline corresponding to heuristics designed for dedicated platforms.
+//   - ES (equal share): βᵢ = 1/|A|.
+//   - PS-x (proportional share): βᵢ = γᵢ/Σⱼγⱼ (Eq. 1), where γ is one of
+//     three PTG characteristics x: critical-path length, maximal width, or
+//     total work.
+//   - WPS-x (weighted proportional share): βᵢ = µ/|A| + (1−µ)·γᵢ/Σⱼγⱼ
+//     (Eq. 2), a tunable compromise between ES (µ=1) and PS (µ=0).
+package strategy
+
+import (
+	"fmt"
+
+	"ptgsched/internal/cost"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/platform"
+)
+
+// Characteristic selects the PTG property γ used by the PS and WPS
+// strategies.
+type Characteristic int
+
+const (
+	// CriticalPath uses the length of the PTG's critical path (sequential
+	// reference-cluster times, computation only).
+	CriticalPath Characteristic = iota
+	// Width uses the PTG's maximal precedence-level width: the maximal
+	// task parallelism it can exploit.
+	Width
+	// Work uses the PTG's total sequential work in GFlop.
+	Work
+)
+
+// String implements fmt.Stringer.
+func (c Characteristic) String() string {
+	switch c {
+	case CriticalPath:
+		return "cp"
+	case Width:
+		return "width"
+	case Work:
+		return "work"
+	default:
+		return fmt.Sprintf("Characteristic(%d)", int(c))
+	}
+}
+
+// Gamma returns the characteristic value γ of g for the given reference
+// cluster.
+func Gamma(c Characteristic, g *dag.Graph, ref platform.Reference) float64 {
+	switch c {
+	case CriticalPath:
+		seq := func(t *dag.Task) float64 { return cost.SeqTime(t.SeqGFlop, ref.Speed) }
+		return g.CriticalPathLength(seq, dag.ZeroComm)
+	case Width:
+		return float64(g.MaxWidth())
+	case Work:
+		return g.TotalWork()
+	default:
+		panic(fmt.Sprintf("strategy: unknown characteristic %d", int(c)))
+	}
+}
+
+// Kind identifies a strategy family.
+type Kind int
+
+const (
+	// Selfish is the S strategy: β = 1 for every PTG.
+	Selfish Kind = iota
+	// EqualShare is the ES strategy: β = 1/|A|.
+	EqualShare
+	// ProportionalShare is the PS-x strategy (Eq. 1).
+	ProportionalShare
+	// WeightedProportionalShare is the WPS-x strategy (Eq. 2).
+	WeightedProportionalShare
+)
+
+// Strategy is a fully-specified constraint determination strategy.
+type Strategy struct {
+	Kind Kind
+	// Char is the PTG characteristic used by PS and WPS.
+	Char Characteristic
+	// Mu is the WPS weight µ ∈ [0,1]; 0 degenerates to PS, 1 to ES.
+	Mu float64
+}
+
+// Paper strategy constructors.
+
+// S returns the selfish strategy.
+func S() Strategy { return Strategy{Kind: Selfish} }
+
+// ES returns the equal-share strategy.
+func ES() Strategy { return Strategy{Kind: EqualShare} }
+
+// PS returns the proportional-share strategy on characteristic c.
+func PS(c Characteristic) Strategy { return Strategy{Kind: ProportionalShare, Char: c} }
+
+// WPS returns the weighted proportional-share strategy on characteristic c
+// with weight mu.
+func WPS(c Characteristic, mu float64) Strategy {
+	if mu < 0 || mu > 1 {
+		panic(fmt.Sprintf("strategy: mu %g outside [0,1]", mu))
+	}
+	return Strategy{Kind: WeightedProportionalShare, Char: c, Mu: mu}
+}
+
+// Name returns the paper's name for the strategy (e.g. "WPS-width").
+func (s Strategy) Name() string {
+	switch s.Kind {
+	case Selfish:
+		return "S"
+	case EqualShare:
+		return "ES"
+	case ProportionalShare:
+		return "PS-" + s.Char.String()
+	case WeightedProportionalShare:
+		return "WPS-" + s.Char.String()
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s.Kind))
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string { return s.Name() }
+
+// Betas computes the per-PTG resource constraints for the given set of
+// applications on the given reference cluster.
+func (s Strategy) Betas(graphs []*dag.Graph, ref platform.Reference) []float64 {
+	n := len(graphs)
+	if n == 0 {
+		return nil
+	}
+	betas := make([]float64, n)
+	switch s.Kind {
+	case Selfish:
+		for i := range betas {
+			betas[i] = 1
+		}
+	case EqualShare:
+		for i := range betas {
+			betas[i] = 1 / float64(n)
+		}
+	case ProportionalShare, WeightedProportionalShare:
+		gammas := make([]float64, n)
+		sum := 0.0
+		for i, g := range graphs {
+			gammas[i] = Gamma(s.Char, g, ref)
+			sum += gammas[i]
+		}
+		if sum <= 0 {
+			panic("strategy: characteristic sum is not positive")
+		}
+		mu := s.Mu
+		if s.Kind == ProportionalShare {
+			mu = 0
+		}
+		for i := range betas {
+			betas[i] = mu/float64(n) + (1-mu)*gammas[i]/sum
+		}
+	default:
+		panic(fmt.Sprintf("strategy: unknown kind %d", int(s.Kind)))
+	}
+	return betas
+}
+
+// DefaultMu returns the µ value the paper calibrates for each WPS variant
+// (§7): 0.7 for WPS-work on every PTG family, 0.5 for WPS-cp, and for
+// WPS-width 0.3 on FFT graphs and 0.5 otherwise.
+func DefaultMu(c Characteristic, family daggen.Family) float64 {
+	switch c {
+	case Work:
+		return 0.7
+	case CriticalPath:
+		return 0.5
+	case Width:
+		if family == daggen.FamilyFFT {
+			return 0.3
+		}
+		return 0.5
+	default:
+		panic(fmt.Sprintf("strategy: unknown characteristic %d", int(c)))
+	}
+}
+
+// PaperSet returns the strategies compared in the paper's evaluation for
+// the given PTG family, in the paper's order. For Strassen PTGs the
+// width-based strategies are omitted: all Strassen graphs have the same
+// maximal width, so PS-width and WPS-width coincide with ES (§7, Fig. 5).
+func PaperSet(family daggen.Family) []Strategy {
+	all := []Strategy{
+		S(),
+		ES(),
+		PS(CriticalPath),
+		PS(Width),
+		PS(Work),
+		WPS(CriticalPath, DefaultMu(CriticalPath, family)),
+		WPS(Width, DefaultMu(Width, family)),
+		WPS(Work, DefaultMu(Work, family)),
+	}
+	if family != daggen.FamilyStrassen {
+		return all
+	}
+	var kept []Strategy
+	for _, s := range all {
+		if (s.Kind == ProportionalShare || s.Kind == WeightedProportionalShare) && s.Char == Width {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}

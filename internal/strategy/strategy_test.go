@@ -1,0 +1,196 @@
+package strategy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/platform"
+)
+
+var testRef = platform.Reference{Procs: 100, Speed: 3}
+
+func graphs(n int, seed int64) []*dag.Graph {
+	r := rand.New(rand.NewSource(seed))
+	gs := make([]*dag.Graph, n)
+	for i := range gs {
+		gs[i] = daggen.Generate(daggen.FamilyRandom, r)
+	}
+	return gs
+}
+
+func TestSelfishGivesOne(t *testing.T) {
+	for _, b := range S().Betas(graphs(5, 1), testRef) {
+		if b != 1 {
+			t.Fatalf("S beta = %g, want 1", b)
+		}
+	}
+}
+
+func TestEqualShare(t *testing.T) {
+	bs := ES().Betas(graphs(10, 2), testRef)
+	for _, b := range bs {
+		if math.Abs(b-0.1) > 1e-12 {
+			t.Fatalf("ES beta = %g, want 0.1", b)
+		}
+	}
+}
+
+func TestProportionalShareSumsToOne(t *testing.T) {
+	for _, c := range []Characteristic{CriticalPath, Width, Work} {
+		bs := PS(c).Betas(graphs(6, 3), testRef)
+		sum := 0.0
+		for _, b := range bs {
+			if b <= 0 || b > 1 {
+				t.Fatalf("PS-%s beta %g outside (0,1]", c, b)
+			}
+			sum += b
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("PS-%s betas sum to %g, want 1", c, sum)
+		}
+	}
+}
+
+func TestProportionalShareTracksWork(t *testing.T) {
+	// Two graphs with very different works: the bigger one gets the bigger
+	// beta under PS-work.
+	g1 := dag.New("small")
+	g1.AddTask("t", 1e6, 10, 0)
+	g2 := dag.New("big")
+	g2.AddTask("t", 1e6, 990, 0)
+	bs := PS(Work).Betas([]*dag.Graph{g1, g2}, testRef)
+	if math.Abs(bs[0]-0.01) > 1e-9 || math.Abs(bs[1]-0.99) > 1e-9 {
+		t.Fatalf("PS-work betas = %v, want [0.01, 0.99]", bs)
+	}
+}
+
+func TestWPSInterpolatesESAndPS(t *testing.T) {
+	gs := graphs(4, 4)
+	ps := PS(Work).Betas(gs, testRef)
+	es := ES().Betas(gs, testRef)
+	wps0 := WPS(Work, 0).Betas(gs, testRef)
+	wps1 := WPS(Work, 1).Betas(gs, testRef)
+	for i := range gs {
+		if math.Abs(wps0[i]-ps[i]) > 1e-12 {
+			t.Errorf("WPS(mu=0)[%d] = %g, want PS %g", i, wps0[i], ps[i])
+		}
+		if math.Abs(wps1[i]-es[i]) > 1e-12 {
+			t.Errorf("WPS(mu=1)[%d] = %g, want ES %g", i, wps1[i], es[i])
+		}
+	}
+	// Intermediate mu lies between the two extremes.
+	wps := WPS(Work, 0.7).Betas(gs, testRef)
+	for i := range gs {
+		lo, hi := math.Min(ps[i], es[i]), math.Max(ps[i], es[i])
+		if wps[i] < lo-1e-12 || wps[i] > hi+1e-12 {
+			t.Errorf("WPS(0.7)[%d] = %g outside [%g, %g]", i, wps[i], lo, hi)
+		}
+	}
+}
+
+func TestWPSRejectsBadMu(t *testing.T) {
+	for _, mu := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mu=%g accepted", mu)
+				}
+			}()
+			WPS(Work, mu)
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]Strategy{
+		"S":         S(),
+		"ES":        ES(),
+		"PS-cp":     PS(CriticalPath),
+		"PS-width":  PS(Width),
+		"PS-work":   PS(Work),
+		"WPS-cp":    WPS(CriticalPath, 0.5),
+		"WPS-width": WPS(Width, 0.5),
+		"WPS-work":  WPS(Work, 0.7),
+	}
+	for name, s := range want {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}
+
+func TestGammaWidthOfStrassenIsConstant(t *testing.T) {
+	g1 := daggen.Strassen(rand.New(rand.NewSource(1)))
+	g2 := daggen.Strassen(rand.New(rand.NewSource(2)))
+	if Gamma(Width, g1, testRef) != Gamma(Width, g2, testRef) {
+		t.Fatal("Strassen widths differ")
+	}
+}
+
+func TestDefaultMuMatchesPaper(t *testing.T) {
+	if DefaultMu(Work, daggen.FamilyRandom) != 0.7 {
+		t.Error("WPS-work mu should be 0.7")
+	}
+	if DefaultMu(CriticalPath, daggen.FamilyFFT) != 0.5 {
+		t.Error("WPS-cp mu should be 0.5")
+	}
+	if DefaultMu(Width, daggen.FamilyFFT) != 0.3 {
+		t.Error("WPS-width mu on FFT should be 0.3")
+	}
+	if DefaultMu(Width, daggen.FamilyRandom) != 0.5 {
+		t.Error("WPS-width mu on random should be 0.5")
+	}
+}
+
+func TestPaperSetSizes(t *testing.T) {
+	if n := len(PaperSet(daggen.FamilyRandom)); n != 8 {
+		t.Errorf("random paper set has %d strategies, want 8", n)
+	}
+	if n := len(PaperSet(daggen.FamilyFFT)); n != 8 {
+		t.Errorf("fft paper set has %d strategies, want 8", n)
+	}
+	set := PaperSet(daggen.FamilyStrassen)
+	if n := len(set); n != 6 {
+		t.Errorf("strassen paper set has %d strategies, want 6", n)
+	}
+	for _, s := range set {
+		if s.Char == Width && s.Kind != Selfish && s.Kind != EqualShare {
+			t.Errorf("strassen set contains width strategy %s", s)
+		}
+	}
+}
+
+// Property: every strategy yields betas in (0,1] and WPS betas sum to 1.
+func TestBetasProperty(t *testing.T) {
+	f := func(seed int64, n uint8, muRaw uint8) bool {
+		count := int(n%9) + 2
+		gs := graphs(count, seed)
+		mu := float64(muRaw%101) / 100
+		strategies := []Strategy{
+			S(), ES(),
+			PS(CriticalPath), PS(Width), PS(Work),
+			WPS(CriticalPath, mu), WPS(Width, mu), WPS(Work, mu),
+		}
+		for _, s := range strategies {
+			bs := s.Betas(gs, testRef)
+			sum := 0.0
+			for _, b := range bs {
+				if b <= 0 || b > 1+1e-12 {
+					return false
+				}
+				sum += b
+			}
+			if s.Kind != Selfish && math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

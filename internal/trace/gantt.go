@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ptgsched/internal/mapping"
+)
+
+// Gantt renders a text Gantt chart of the schedule, one line per cluster,
+// showing for each placement its span and width. Width is the number of
+// character columns of the chart area.
+func Gantt(w io.Writer, s *mapping.Schedule, width int) error {
+	if width < 20 {
+		width = 20
+	}
+	horizon := s.GlobalMakespan()
+	if horizon <= 0 {
+		horizon = 1
+	}
+	scale := float64(width) / horizon
+
+	byCluster := make(map[string][]*mapping.Placement)
+	for _, p := range s.Placements {
+		byCluster[p.Cluster.Name] = append(byCluster[p.Cluster.Name], p)
+	}
+	names := make([]string, 0, len(byCluster))
+	for name := range byCluster {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule on %s, makespan %.2f s\n", s.Platform.Name, s.GlobalMakespan())
+	for _, name := range names {
+		ps := byCluster[name]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Start != ps[j].Start {
+				return ps[i].Start < ps[j].Start
+			}
+			return ps[i].Task.Name < ps[j].Task.Name
+		})
+		fmt.Fprintf(&b, "%s:\n", name)
+		for _, p := range ps {
+			from := int(p.Start * scale)
+			to := int(p.End * scale)
+			if to <= from {
+				to = from + 1
+			}
+			if to > width {
+				to = width
+			}
+			bar := strings.Repeat(" ", from) + strings.Repeat("#", to-from)
+			fmt.Fprintf(&b, "  |%-*s| app%d/%-10s ×%-3d [%8.2f,%8.2f]\n",
+				width, bar, p.App, p.Task.Name, len(p.Procs), p.Start, p.End)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonPlacement is the JSON wire form of one placement.
+type jsonPlacement struct {
+	App     int     `json:"app"`
+	Task    string  `json:"task"`
+	Cluster string  `json:"cluster"`
+	Procs   []int   `json:"procs"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+}
+
+// WriteJSON exports the schedule's placements as a JSON array.
+func WriteJSON(w io.Writer, s *mapping.Schedule) error {
+	out := make([]jsonPlacement, 0, len(s.Placements))
+	for _, p := range s.Placements {
+		out = append(out, jsonPlacement{
+			App:     p.App,
+			Task:    p.Task.Name,
+			Cluster: p.Cluster.Name,
+			Procs:   p.Procs,
+			Start:   p.Start,
+			End:     p.End,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,90 @@
+// Package trace provides schedule inspection tools: structural validation
+// of mapped schedules (processor exclusivity, precedence with
+// redistribution delays, allocation-translation consistency), a text Gantt
+// renderer, and JSON export.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"ptgsched/internal/mapping"
+)
+
+// Validate checks that a schedule is executable:
+//
+//  1. every task of every application is placed exactly once;
+//  2. no processor runs two tasks at overlapping times;
+//  3. every task starts no earlier than each predecessor's end plus the
+//     contention-free redistribution estimate between their clusters;
+//  4. placements use at least one processor and have non-negative spans.
+//
+// It returns the first violation found, or nil.
+func Validate(s *mapping.Schedule) error {
+	const tol = 1e-9
+
+	placed := make(map[string]bool, len(s.Placements))
+	for ai, app := range s.Apps {
+		for _, t := range app.Graph.Tasks {
+			p := s.PlacementOf(t)
+			if p == nil {
+				return fmt.Errorf("trace: app %d task %q not placed", ai, t.Name)
+			}
+			key := fmt.Sprintf("%d/%d", ai, t.ID)
+			if placed[key] {
+				return fmt.Errorf("trace: app %d task %q placed twice", ai, t.Name)
+			}
+			placed[key] = true
+		}
+	}
+
+	type span struct {
+		start, end float64
+		label      string
+	}
+	busy := make(map[string][]span)
+	for _, p := range s.Placements {
+		if len(p.Procs) == 0 {
+			return fmt.Errorf("trace: %s uses no processors", p)
+		}
+		if p.End < p.Start || p.Start < -tol {
+			return fmt.Errorf("trace: %s has invalid span", p)
+		}
+		if len(p.Procs) > p.Cluster.Procs {
+			return fmt.Errorf("trace: %s uses more processors than cluster has", p)
+		}
+		seen := make(map[int]bool, len(p.Procs))
+		for _, i := range p.Procs {
+			if i < 0 || i >= p.Cluster.Procs {
+				return fmt.Errorf("trace: %s uses processor %d outside cluster", p, i)
+			}
+			if seen[i] {
+				return fmt.Errorf("trace: %s lists processor %d twice", p, i)
+			}
+			seen[i] = true
+			key := fmt.Sprintf("%s/%d", p.Cluster.Name, i)
+			busy[key] = append(busy[key], span{p.Start, p.End, p.String()})
+		}
+	}
+	for proc, spans := range busy {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end-tol {
+				return fmt.Errorf("trace: processor %s oversubscribed: %s overlaps %s",
+					proc, spans[i].label, spans[i-1].label)
+			}
+		}
+	}
+
+	for _, app := range s.Apps {
+		for _, e := range app.Graph.Edges {
+			from, to := s.PlacementOf(e.From), s.PlacementOf(e.To)
+			need := from.End + s.Platform.TransferTime(from.Cluster, to.Cluster, e.Bytes)
+			if to.Start < need-tol {
+				return fmt.Errorf("trace: %q starts at %g before data from %q arrives at %g",
+					e.To.Name, to.Start, e.From.Name, need)
+			}
+		}
+	}
+	return nil
+}

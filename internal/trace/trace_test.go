@@ -1,0 +1,185 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ptgsched/internal/alloc"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/trace"
+)
+
+func validSchedule(t *testing.T) *mapping.Schedule {
+	t.Helper()
+	pf := platform.Lille()
+	r := rand.New(rand.NewSource(1))
+	var apps []*alloc.Allocation
+	for i := 0; i < 3; i++ {
+		g := daggen.Generate(daggen.FamilyRandom, r)
+		apps = append(apps, alloc.Compute(g, pf.ReferenceCluster(), 0.33, alloc.SCRAPMAX))
+	}
+	return mapping.Map(pf, apps, mapping.Options{})
+}
+
+// graphsForSeed generates n random PTGs deterministically.
+func graphsForSeed(t *testing.T, seed int64, n int) []*dag.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	gs := make([]*dag.Graph, n)
+	for i := range gs {
+		gs[i] = daggen.Generate(daggen.FamilyRandom, r)
+	}
+	return gs
+}
+
+// scheduleWith allocates every graph under the given beta and maps them.
+func scheduleWith(t *testing.T, pf *platform.Platform, gs []*dag.Graph, beta float64) *mapping.Schedule {
+	t.Helper()
+	apps := make([]*alloc.Allocation, len(gs))
+	for i, g := range gs {
+		apps[i] = alloc.Compute(g, pf.ReferenceCluster(), beta, alloc.SCRAPMAX)
+	}
+	return mapping.Map(pf, apps, mapping.Options{})
+}
+
+func TestValidateAcceptsMapperOutput(t *testing.T) {
+	if err := trace.Validate(validSchedule(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func handBuilt(pf *platform.Platform, g *dag.Graph, places []*mapping.Placement) *mapping.Schedule {
+	procs := make([]int, len(g.Tasks))
+	for i := range procs {
+		procs[i] = 1
+	}
+	a := &alloc.Allocation{Graph: g, Ref: pf.ReferenceCluster(), Beta: 1, Procs: procs}
+	s := mapping.NewSchedule(pf, []*alloc.Allocation{a})
+	for _, p := range places {
+		s.Add(p)
+	}
+	return s
+}
+
+func TestValidateDetectsMissingPlacement(t *testing.T) {
+	pf := platform.Lille()
+	g := dag.New("g")
+	g.AddTask("a", 1, 1, 0)
+	g.AddTask("b", 1, 1, 0)
+	c := pf.Clusters[0]
+	s := handBuilt(pf, g, []*mapping.Placement{
+		{App: 0, Task: g.Tasks[0], Cluster: c, Procs: []int{0}, Start: 0, End: 1},
+	})
+	if err := trace.Validate(s); err == nil || !strings.Contains(err.Error(), "not placed") {
+		t.Fatalf("err = %v, want 'not placed'", err)
+	}
+}
+
+func TestValidateDetectsOversubscription(t *testing.T) {
+	pf := platform.Lille()
+	g := dag.New("g")
+	g.AddTask("a", 1, 1, 0)
+	g.AddTask("b", 1, 1, 0)
+	c := pf.Clusters[0]
+	s := handBuilt(pf, g, []*mapping.Placement{
+		{App: 0, Task: g.Tasks[0], Cluster: c, Procs: []int{0}, Start: 0, End: 2},
+		{App: 0, Task: g.Tasks[1], Cluster: c, Procs: []int{0}, Start: 1, End: 3},
+	})
+	if err := trace.Validate(s); err == nil || !strings.Contains(err.Error(), "oversubscribed") {
+		t.Fatalf("err = %v, want 'oversubscribed'", err)
+	}
+}
+
+func TestValidateDetectsPrecedenceViolation(t *testing.T) {
+	pf := platform.Lille()
+	g := dag.New("g")
+	a := g.AddTask("a", 1, 1, 0)
+	b := g.AddTask("b", 1, 1, 0)
+	g.MustAddEdge(a, b, 1e9)
+	c := pf.Clusters[0]
+	s := handBuilt(pf, g, []*mapping.Placement{
+		{App: 0, Task: a, Cluster: c, Procs: []int{0}, Start: 0, End: 2},
+		{App: 0, Task: b, Cluster: c, Procs: []int{1}, Start: 2, End: 3}, // ignores transfer
+	})
+	if err := trace.Validate(s); err == nil || !strings.Contains(err.Error(), "before data") {
+		t.Fatalf("err = %v, want precedence violation", err)
+	}
+}
+
+func TestValidateDetectsBadProcIndex(t *testing.T) {
+	pf := platform.Lille()
+	g := dag.New("g")
+	g.AddTask("a", 1, 1, 0)
+	c := pf.Clusters[1] // Chti: 20 procs
+	s := handBuilt(pf, g, []*mapping.Placement{
+		{App: 0, Task: g.Tasks[0], Cluster: c, Procs: []int{25}, Start: 0, End: 1},
+	})
+	if err := trace.Validate(s); err == nil || !strings.Contains(err.Error(), "outside cluster") {
+		t.Fatalf("err = %v, want bad index", err)
+	}
+}
+
+func TestValidateDetectsDuplicateProc(t *testing.T) {
+	pf := platform.Lille()
+	g := dag.New("g")
+	g.AddTask("a", 1, 1, 0)
+	c := pf.Clusters[0]
+	s := handBuilt(pf, g, []*mapping.Placement{
+		{App: 0, Task: g.Tasks[0], Cluster: c, Procs: []int{3, 3}, Start: 0, End: 1},
+	})
+	if err := trace.Validate(s); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v, want duplicate proc", err)
+	}
+}
+
+func TestGanttRendersAllClusters(t *testing.T) {
+	s := validSchedule(t)
+	var buf bytes.Buffer
+	if err := trace.Gantt(&buf, s, 80); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, c := range s.Platform.Clusters {
+		used := false
+		for _, p := range s.Placements {
+			if p.Cluster == c {
+				used = true
+				break
+			}
+		}
+		if used && !strings.Contains(out, c.Name+":") {
+			t.Errorf("gantt missing cluster %s", c.Name)
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("gantt has no bars")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	s := validSchedule(t)
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(s.Placements) {
+		t.Fatalf("%d JSON placements, want %d", len(decoded), len(s.Placements))
+	}
+	for _, rec := range decoded {
+		for _, field := range []string{"app", "task", "cluster", "procs", "start", "end"} {
+			if _, ok := rec[field]; !ok {
+				t.Fatalf("JSON record missing %q", field)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package ptgsched_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ptgsched"
+)
+
+func TestFacadeOnlinePipeline(t *testing.T) {
+	pf := ptgsched.Nancy()
+	r := rand.New(rand.NewSource(5))
+	arrivals := ptgsched.GenerateWorkload(ptgsched.WorkloadSpec{
+		Family:  ptgsched.FamilyStrassen,
+		Count:   6,
+		Process: ptgsched.PoissonArrivals,
+		Rate:    0.5,
+	}, r)
+	res := ptgsched.ScheduleOnline(pf, arrivals, ptgsched.OnlineOptions{
+		Strategy: ptgsched.WPS(ptgsched.Work, 0.7),
+	})
+	if len(res.Apps) != 6 {
+		t.Fatalf("%d app results", len(res.Apps))
+	}
+	for i, app := range res.Apps {
+		if app.FlowTime() <= 0 {
+			t.Errorf("app %d: flow time %g", i, app.FlowTime())
+		}
+		if app.StartedAt < app.SubmittedAt {
+			t.Errorf("app %d started before submission", i)
+		}
+	}
+	if res.Rebalances < 6 {
+		t.Errorf("rebalances = %d, want >= one per arrival", res.Rebalances)
+	}
+}
+
+func TestFacadeWorkloadTraceRoundTrip(t *testing.T) {
+	arrivals := ptgsched.GenerateWorkload(ptgsched.WorkloadSpec{
+		Family:  ptgsched.FamilyFFT,
+		Count:   3,
+		Process: ptgsched.UniformArrivals,
+		Rate:    1,
+	}, rand.New(rand.NewSource(6)))
+	var buf bytes.Buffer
+	if err := ptgsched.WriteWorkloadTrace(&buf, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ptgsched.ReadWorkloadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("%d arrivals after round trip", len(back))
+	}
+	var dot bytes.Buffer
+	if err := ptgsched.WriteWorkloadDOT(&dot, back); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(dot.String(), "digraph") != 3 {
+		t.Errorf("workload DOT should contain 3 graphs")
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	pf := ptgsched.Lille()
+	sched := ptgsched.NewScheduler(pf)
+	r := rand.New(rand.NewSource(7))
+	graphs := []*ptgsched.Graph{
+		ptgsched.GeneratePTG(ptgsched.FamilyRandom, r),
+		ptgsched.GeneratePTG(ptgsched.FamilyRandom, r),
+	}
+	res := sched.Schedule(graphs, ptgsched.ES())
+
+	us := ptgsched.ScheduleUtilization(res.Schedule)
+	if len(us) != len(pf.Clusters) {
+		t.Fatalf("%d utilizations", len(us))
+	}
+	for _, u := range us {
+		if u.Utilization < 0 || u.Utilization > 1+1e-9 {
+			t.Errorf("cluster %s utilization %g out of range", u.Cluster, u.Utilization)
+		}
+	}
+	es := ptgsched.ScheduleEfficiencies(res.Schedule)
+	for _, e := range es {
+		if e.Efficiency <= 0 || e.Efficiency > 1+1e-9 {
+			t.Errorf("app %d efficiency %g out of range", e.App, e.Efficiency)
+		}
+	}
+	sum := ptgsched.SummarizeSchedule(res.Schedule)
+	if sum.Placements != len(graphs[0].Tasks)+len(graphs[1].Tasks) {
+		t.Errorf("summary placements = %d", sum.Placements)
+	}
+
+	var stats ptgsched.GraphStats = graphs[0].ComputeStats()
+	if stats.Tasks != len(graphs[0].Tasks) {
+		t.Errorf("stats tasks = %d", stats.Tasks)
+	}
+}

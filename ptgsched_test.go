@@ -1,0 +1,100 @@
+package ptgsched_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ptgsched"
+)
+
+// TestFacadeEndToEnd drives the whole public API the way the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	pf := ptgsched.Rennes()
+	sched := ptgsched.NewScheduler(pf)
+	r := rand.New(rand.NewSource(1))
+	graphs := []*ptgsched.Graph{
+		ptgsched.RandomPTG(ptgsched.RandomConfig{
+			Tasks: 20, Width: 0.5, Regularity: 0.8, Density: 0.2, Jump: 1,
+		}, r),
+		ptgsched.StrassenPTG(r),
+		ptgsched.FFTPTG(3, r),
+	}
+	res := sched.Schedule(graphs, ptgsched.WPS(ptgsched.Width, 0.5))
+	if res.GlobalMakespan() <= 0 {
+		t.Fatal("non-positive makespan")
+	}
+	if err := ptgsched.ValidateSchedule(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+
+	own := make([]float64, len(graphs))
+	for i, g := range graphs {
+		own[i] = sched.ScheduleAlone(g)
+	}
+	ev := res.Evaluate(own)
+	if ev.Unfairness < 0 {
+		t.Fatal("negative unfairness")
+	}
+
+	var gantt bytes.Buffer
+	if err := ptgsched.WriteGantt(&gantt, res.Schedule, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gantt.String(), "makespan") {
+		t.Error("gantt output missing header")
+	}
+	var js bytes.Buffer
+	if err := ptgsched.WriteScheduleJSON(&js, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"cluster\"") {
+		t.Error("JSON output missing fields")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	pf := ptgsched.Lille()
+	g := ptgsched.GeneratePTG(ptgsched.FamilyRandom, rand.New(rand.NewSource(2)))
+	for name, s := range map[string]*ptgsched.Schedule{
+		"HEFT":  ptgsched.HEFT(pf, g),
+		"MHEFT": ptgsched.MHEFT(pf, g),
+		"HCPA":  ptgsched.HCPA(pf, g),
+	} {
+		if err := ptgsched.ValidateSchedule(s); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	cfg := ptgsched.ExperimentConfig{
+		Family:    ptgsched.FamilyStrassen,
+		NPTGs:     []int{2},
+		Reps:      1,
+		Platforms: []*ptgsched.Platform{ptgsched.Lille()},
+		Seed:      3,
+	}
+	res := ptgsched.RunExperiment(cfg)
+	if len(res.Points) != 1 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	var buf bytes.Buffer
+	if err := res.RenderTable(&buf, ptgsched.MetricRelMakespan); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "relative makespan") {
+		t.Error("table header missing")
+	}
+}
+
+func TestFacadeStrategyHelpers(t *testing.T) {
+	if got := len(ptgsched.PaperStrategies(ptgsched.FamilyFFT)); got != 8 {
+		t.Errorf("paper strategies = %d", got)
+	}
+	if mu := ptgsched.DefaultMu(ptgsched.Work, ptgsched.FamilyRandom); mu != 0.7 {
+		t.Errorf("default mu = %g", mu)
+	}
+}
