@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ptgsched/internal/benchsuite"
+)
+
+// BenchResult is one benchmark measurement as recorded in BENCH_mapping.json.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// BenchReport is the schema of BENCH_mapping.json: the frozen seed baseline
+// the repository was measured at before the incremental-mapper overhaul,
+// the current suite's numbers, and the derived ratios. Future PRs compare
+// their regenerated `current` section against the committed one (and
+// against `seed_baseline` for the long view).
+type BenchReport struct {
+	Schema       string             `json:"schema"`
+	GeneratedBy  string             `json:"generated_by"`
+	GoVersion    string             `json:"go_version"`
+	Note         string             `json:"note"`
+	SeedBaseline []BenchResult      `json:"seed_baseline"`
+	Current      []BenchResult      `json:"current"`
+	SpeedupNs    map[string]float64 `json:"speedup_ns_vs_seed"`
+	AllocRatio   map[string]float64 `json:"alloc_reduction_vs_seed"`
+}
+
+// seedBaseline is the benchmark suite measured on the seed implementation
+// (naive mapper, map-based fair-share solver, uncached DAG analyses) on
+// the reference machine the overhaul was developed on (Intel Xeon @
+// 2.10GHz, go1.24, -benchtime 5x). It is a frozen historical record: do
+// not regenerate it, the seed code no longer exists in the tree except as
+// the unexported reference implementations in the differential tests.
+var seedBaseline = []BenchResult{
+	{Name: "Fig2MuSweepWPSWork", NsPerOp: 502292541, BytesPerOp: 364487457, AllocsPerOp: 5119628, Iterations: 5},
+	{Name: "Fig3RandomPTGs", NsPerOp: 737720620, BytesPerOp: 553213529, AllocsPerOp: 7867239, Iterations: 5},
+	{Name: "Fig4FFTPTGs", NsPerOp: 1310511123, BytesPerOp: 1207787753, AllocsPerOp: 9632377, Iterations: 5},
+	{Name: "Fig5StrassenPTGs", NsPerOp: 370623699, BytesPerOp: 302231830, AllocsPerOp: 3786380, Iterations: 5},
+	{Name: "MapLarge", NsPerOp: 608776343, BytesPerOp: 102826691, AllocsPerOp: 516173, Iterations: 5},
+	{Name: "FairShare1000Flows", NsPerOp: 351894, BytesPerOp: 44184, AllocsPerOp: 105, Iterations: 5},
+}
+
+// bench runs the regression suite and prints a comparison against the seed
+// baseline; with a non-empty jsonPath it also writes BENCH_mapping.json.
+func bench(jsonPath string) {
+	// Write through a temp file in the target directory: a bad path fails
+	// before the minute-long suite runs, and an interrupt or mid-suite
+	// failure cannot truncate an existing committed report — the rename
+	// happens only after a successful encode.
+	var out *os.File
+	tmpPath := ""
+	if jsonPath != "" {
+		tmpPath = jsonPath + ".tmp"
+		var err error
+		out, err = os.Create(tmpPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer os.Remove(tmpPath)
+	}
+	report := BenchReport{
+		Schema:       "ptgsched-bench/v1",
+		GeneratedBy:  "ptgbench -experiment bench -json " + jsonPath,
+		GoVersion:    runtime.Version(),
+		Note:         "seed_baseline is frozen (pre-overhaul implementation); regenerate only `current`. See PERFORMANCE.md.",
+		SeedBaseline: seedBaseline,
+		SpeedupNs:    map[string]float64{},
+		AllocRatio:   map[string]float64{},
+	}
+	baseline := map[string]BenchResult{}
+	for _, r := range seedBaseline {
+		baseline[r.Name] = r
+	}
+
+	fmt.Printf("%-22s %14s %14s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "speedup", "alloc ÷")
+	for _, c := range benchsuite.Suite() {
+		res := testing.Benchmark(c.Bench)
+		if res.N == 0 || res.NsPerOp() <= 0 {
+			// testing.Benchmark returns a zero result when the function
+			// calls b.Fatal; a broken pipeline must not be recorded as a
+			// plausible measurement.
+			fatal(fmt.Errorf("benchmark %s failed (zero result)", c.Name))
+		}
+		cur := BenchResult{
+			Name:        c.Name,
+			NsPerOp:     float64(res.NsPerOp()),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Iterations:  res.N,
+		}
+		report.Current = append(report.Current, cur)
+		speedup, allocRatio := 0.0, 0.0
+		if base, ok := baseline[c.Name]; ok && cur.NsPerOp > 0 && cur.AllocsPerOp > 0 {
+			speedup = base.NsPerOp / cur.NsPerOp
+			allocRatio = float64(base.AllocsPerOp) / float64(cur.AllocsPerOp)
+			report.SpeedupNs[c.Name] = speedup
+			report.AllocRatio[c.Name] = allocRatio
+		}
+		fmt.Printf("%-22s %14.0f %14d %11.1fx %11.1fx\n",
+			c.Name, cur.NsPerOp, cur.AllocsPerOp, speedup, allocRatio)
+	}
+
+	if out == nil {
+		return
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		fatal(err)
+	}
+	if err := os.Rename(tmpPath, jsonPath); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+}

@@ -11,6 +11,12 @@
 //	ptgbench -experiment fig3 -csv fig3.csv
 //	ptgbench -experiment mu-calibration
 //	ptgbench -experiment ablation
+//
+// The bench experiment runs the benchmark-regression suite (the same one
+// behind `go test -bench`, see internal/benchsuite) and compares it with
+// the frozen seed baseline; -json regenerates BENCH_mapping.json:
+//
+//	ptgbench -experiment bench -json BENCH_mapping.json
 package main
 
 import (
@@ -26,11 +32,12 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("experiment", "table1", "table1, fig1, fig2, fig3, fig4, fig5, mu-calibration, ablation or dynamic")
-		reps    = flag.Int("reps", 25, "random PTG combinations per point (paper: 25)")
-		seed    = flag.Int64("seed", 42, "base random seed")
-		workers = flag.Int("workers", 0, "concurrent runs (default: NumCPU)")
-		csvPath = flag.String("csv", "", "also write the aggregated results to this CSV file")
+		name     = flag.String("experiment", "table1", "table1, fig1, fig2, fig3, fig4, fig5, mu-calibration, ablation, dynamic or bench")
+		reps     = flag.Int("reps", 25, "random PTG combinations per point (paper: 25)")
+		seed     = flag.Int64("seed", 42, "base random seed")
+		workers  = flag.Int("workers", 0, "concurrent runs (default: NumCPU)")
+		csvPath  = flag.String("csv", "", "also write the aggregated results to this CSV file")
+		jsonPath = flag.String("json", "", "bench: write the regression report to this JSON file (e.g. BENCH_mapping.json)")
 	)
 	flag.Parse()
 
@@ -61,6 +68,8 @@ func main() {
 		ablation(*seed, *reps, *workers, *csvPath)
 	case "dynamic":
 		dynamic(*seed, *reps)
+	case "bench":
+		bench(*jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "ptgbench: unknown experiment %q\n", *name)
 		os.Exit(1)
@@ -182,7 +191,7 @@ func muCalibration(seed int64, reps, workers int) {
 	}
 }
 
-// ablation quantifies the design choices DESIGN.md calls out: ready-task vs
+// ablation quantifies the mapper's design choices: ready-task vs
 // global ordering and packing on/off, on the paper's random workload.
 func ablation(seed int64, reps, workers int, csvPath string) {
 	fmt.Println("Ablation: mapping design choices on random PTGs, ES strategy")

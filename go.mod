@@ -1,0 +1,3 @@
+module ptgsched
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package benchsuite defines the benchmark-regression suite shared by the
+// repository's `go test -bench` entry points (bench_test.go) and the
+// `ptgbench -experiment bench -json` harness, so both always measure the
+// same workloads. See PERFORMANCE.md for the methodology and the recorded
+// seed baseline.
+package benchsuite
+
+import (
+	"math/rand"
+	"testing"
+
+	"ptgsched/internal/alloc"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/experiment"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/sim"
+)
+
+// Case is one named benchmark of the regression suite.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Suite returns the regression suite: the paper-figure pipeline benchmarks
+// plus the two scale microbenchmarks (mapping at 10k tasks, fair sharing
+// at 1000 flows).
+func Suite() []Case {
+	return []Case{
+		{"Fig2MuSweepWPSWork", func(b *testing.B) { Campaign(b, experiment.Fig2Config(42, 1)) }},
+		{"Fig3RandomPTGs", func(b *testing.B) { Campaign(b, experiment.Fig3Config(42, 1)) }},
+		{"Fig4FFTPTGs", func(b *testing.B) { Campaign(b, experiment.Fig4Config(42, 1)) }},
+		{"Fig5StrassenPTGs", func(b *testing.B) { Campaign(b, experiment.Fig5Config(42, 1)) }},
+		{"MapLarge", MapLarge},
+		{"FairShare1000Flows", FairShare1000Flows},
+	}
+}
+
+// Campaign shrinks a figure config to benchmark size and measures the cost
+// of the complete pipeline that produces the figure.
+func Campaign(b *testing.B, cfg experiment.Config) {
+	b.Helper()
+	cfg.Reps = 1
+	cfg.NPTGs = []int{2, 6, 10}
+	cfg.Platforms = []*platform.Platform{platform.Rennes()}
+	cfg.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiment.Run(cfg)
+		if len(res.Points) != 3 {
+			b.Fatal("campaign lost points")
+		}
+	}
+}
+
+// MapLarge measures the mapping stage alone at production scale: 20 PTGs
+// of 500 tasks each, mapped on all four Grid'5000 sites per iteration.
+// Allocation happens once outside the timed loop, so ns/op and allocs/op
+// reflect mapping.Map only. This is the headline number of the regression
+// harness.
+func MapLarge(b *testing.B) {
+	r := rand.New(rand.NewSource(101))
+	const nPTGs = 20
+	graphs := make([]*dag.Graph, nPTGs)
+	for i := range graphs {
+		graphs[i] = daggen.Random(daggen.RandomConfig{
+			Tasks:      500,
+			Width:      0.5,
+			Regularity: 0.8,
+			Density:    0.2,
+			Jump:       2,
+		}, r)
+	}
+	sites := platform.Grid5000Sites()
+	apps := make([][]*alloc.Allocation, len(sites))
+	for si, pf := range sites {
+		ref := pf.ReferenceCluster()
+		apps[si] = make([]*alloc.Allocation, nPTGs)
+		for i, g := range graphs {
+			apps[si][i] = alloc.Compute(g, ref, 1.0/nPTGs, alloc.SCRAPMAX)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for si, pf := range sites {
+			s := mapping.Map(pf, apps[si], mapping.Options{})
+			if len(s.Placements) != nPTGs*500 {
+				b.Fatal("lost placements")
+			}
+		}
+	}
+}
+
+// FairShare1000Flows measures one progressive-filling solve over 1000
+// flows crossing a 4-site-like topology of 24 links.
+func FairShare1000Flows(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	links := make([]*sim.Link, 24)
+	for i := range links {
+		links[i] = sim.NewLink(
+			string(rune('a'+i%26))+string(rune('0'+i/26)),
+			1e9*(0.5+r.Float64()), 1e-4)
+	}
+	flows := make([]*sim.Flow, 1000)
+	for i := range flows {
+		route := []*sim.Link{links[r.Intn(len(links))]}
+		for len(route) < 3 && r.Intn(2) == 0 {
+			l := links[r.Intn(len(links))]
+			dup := false
+			for _, have := range route {
+				if have == l {
+					dup = true
+				}
+			}
+			if !dup {
+				route = append(route, l)
+			}
+		}
+		flows[i] = sim.NewTestFlow(route, 1e8*(1+r.Float64()))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.FairShareRates(flows)
+	}
+}

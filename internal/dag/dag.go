@@ -42,10 +42,40 @@ type Edge struct {
 // Graph is a parallel task graph. Create one with New, add tasks with
 // AddTask and dependences with AddEdge, then call Validate (or any of the
 // analyses, which validate lazily by panicking on cycles).
+//
+// Structural analyses (TopoOrder, PrecedenceLevels, LevelSets, Entries,
+// Exits) are cached on the graph and invalidated by AddTask/AddEdge, and
+// the level analyses share internal scratch buffers: the constrained
+// allocation procedure re-runs them on an unchanged graph thousands of
+// times. Returned slices are therefore shared — callers must treat them as
+// read-only — and a Graph must not be analyzed from multiple goroutines
+// concurrently (scheduling pipelines own their graphs, so this matches how
+// every caller in this module behaves).
 type Graph struct {
 	Name  string
 	Tasks []*Task
 	Edges []*Edge
+
+	// Caches of structure-only analyses; valid while the corresponding
+	// slice is non-nil.
+	topo      []*Task
+	levels    []int
+	levelSets [][]*Task
+	entries   []*Task
+	exits     []*Task
+	// Scratch for level computations whose results are not returned to
+	// callers (OnCriticalPath, CriticalPathLength internals).
+	scratchBL []float64
+	scratchTL []float64
+}
+
+// invalidate drops the structural caches after a mutation.
+func (g *Graph) invalidate() {
+	g.topo = nil
+	g.levels = nil
+	g.levelSets = nil
+	g.entries = nil
+	g.exits = nil
 }
 
 // New returns an empty graph with the given name.
@@ -64,6 +94,7 @@ func (g *Graph) AddTask(name string, dataElems, seqGFlop, alpha float64) *Task {
 		Alpha:     alpha,
 	}
 	g.Tasks = append(g.Tasks, t)
+	g.invalidate()
 	return t
 }
 
@@ -85,6 +116,7 @@ func (g *Graph) AddEdge(from, to *Task, bytes float64) (*Edge, error) {
 	g.Edges = append(g.Edges, e)
 	from.out = append(from.out, e)
 	to.in = append(to.in, e)
+	g.invalidate()
 	return e, nil
 }
 
@@ -122,26 +154,34 @@ func (t *Task) Successors() []*Task {
 	return ss
 }
 
-// Entries returns the tasks with no predecessors.
+// Entries returns the tasks with no predecessors. The slice is cached;
+// treat it as read-only.
 func (g *Graph) Entries() []*Task {
-	var es []*Task
-	for _, t := range g.Tasks {
-		if len(t.in) == 0 {
-			es = append(es, t)
+	if g.entries == nil {
+		es := make([]*Task, 0, 1)
+		for _, t := range g.Tasks {
+			if len(t.in) == 0 {
+				es = append(es, t)
+			}
 		}
+		g.entries = es
 	}
-	return es
+	return g.entries
 }
 
-// Exits returns the tasks with no successors.
+// Exits returns the tasks with no successors. The slice is cached; treat it
+// as read-only.
 func (g *Graph) Exits() []*Task {
-	var xs []*Task
-	for _, t := range g.Tasks {
-		if len(t.out) == 0 {
-			xs = append(xs, t)
+	if g.exits == nil {
+		xs := make([]*Task, 0, 1)
+		for _, t := range g.Tasks {
+			if len(t.out) == 0 {
+				xs = append(xs, t)
+			}
 		}
+		g.exits = xs
 	}
-	return xs
+	return g.exits
 }
 
 // ErrCycle is returned by Validate and TopoOrder when the graph contains a
@@ -149,8 +189,21 @@ func (g *Graph) Exits() []*Task {
 var ErrCycle = errors.New("dag: graph contains a cycle")
 
 // TopoOrder returns the tasks in a topological order (ties broken by task
-// ID, so the order is deterministic), or ErrCycle.
+// ID, so the order is deterministic), or ErrCycle. The order is cached
+// while the graph is unmodified; treat the slice as read-only.
 func (g *Graph) TopoOrder() ([]*Task, error) {
+	if g.topo != nil {
+		return g.topo, nil
+	}
+	order, err := g.topoOrderUncached()
+	if err != nil {
+		return nil, err
+	}
+	g.topo = order
+	return order, nil
+}
+
+func (g *Graph) topoOrderUncached() ([]*Task, error) {
 	indeg := make([]int, len(g.Tasks))
 	for _, t := range g.Tasks {
 		indeg[t.ID] = len(t.in)

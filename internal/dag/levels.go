@@ -6,8 +6,12 @@ import "fmt"
 // level as defined in §4 of the paper: a task is at level a ≥ 0 if all its
 // predecessors are at levels < a and at least one predecessor is at level
 // a−1; entry tasks are at level 0. This is the longest path from an entry
-// task counted in edges.
+// task counted in edges. The result is cached while the graph is
+// unmodified; treat it as read-only.
 func (g *Graph) PrecedenceLevels() []int {
+	if g.levels != nil {
+		return g.levels
+	}
 	order, err := g.TopoOrder()
 	if err != nil {
 		panic(err)
@@ -22,11 +26,18 @@ func (g *Graph) PrecedenceLevels() []int {
 		}
 		levels[t.ID] = lvl
 	}
+	g.levels = levels
 	return levels
 }
 
-// LevelSets groups tasks by precedence level, ordered by level.
+// LevelSets groups tasks by precedence level, ordered by level. The result
+// is cached while the graph is unmodified; treat it as read-only. The
+// constrained allocation procedures test the per-level power budget on
+// every growth step, so this cache takes LevelSets off their hot path.
 func (g *Graph) LevelSets() [][]*Task {
+	if g.levelSets != nil {
+		return g.levelSets
+	}
 	levels := g.PrecedenceLevels()
 	max := 0
 	for _, l := range levels {
@@ -38,6 +49,7 @@ func (g *Graph) LevelSets() [][]*Task {
 	for _, t := range g.Tasks {
 		sets[levels[t.ID]] = append(sets[levels[t.ID]], t)
 	}
+	g.levelSets = sets
 	return sets
 }
 
@@ -70,16 +82,15 @@ type (
 // ZeroComm is a CommFunc that ignores communication.
 func ZeroComm(*Edge) float64 { return 0 }
 
-// BottomLevels returns, indexed by task ID, each task's bottom level: its
-// execution time plus the maximum over successors of edge cost plus the
-// successor's bottom level — the distance to the end of the application
-// (§5). The mapper sorts ready tasks by decreasing bottom level.
-func (g *Graph) BottomLevels(timeOf TimeFunc, commOf CommFunc) []float64 {
+// bottomLevelsInto computes bottom levels into bl, which must have length
+// len(g.Tasks). It backs both the exported BottomLevels (fresh slice, the
+// caller keeps it) and the scratch-buffer paths of OnCriticalPath and
+// CriticalPathLength, which the allocator re-runs on every growth step.
+func (g *Graph) bottomLevelsInto(bl []float64, timeOf TimeFunc, commOf CommFunc) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		panic(err)
 	}
-	bl := make([]float64, len(g.Tasks))
 	for i := len(order) - 1; i >= 0; i-- {
 		t := order[i]
 		best := 0.0
@@ -91,17 +102,15 @@ func (g *Graph) BottomLevels(timeOf TimeFunc, commOf CommFunc) []float64 {
 		}
 		bl[t.ID] = timeOf(t) + best
 	}
-	return bl
 }
 
-// TopLevels returns, indexed by task ID, the length of the longest path
-// from an entry task to the task, excluding the task's own time.
-func (g *Graph) TopLevels(timeOf TimeFunc, commOf CommFunc) []float64 {
+// topLevelsInto computes top levels into tl, which must have length
+// len(g.Tasks).
+func (g *Graph) topLevelsInto(tl []float64, timeOf TimeFunc, commOf CommFunc) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		panic(err)
 	}
-	tl := make([]float64, len(g.Tasks))
 	for _, t := range order {
 		best := 0.0
 		for _, e := range t.in {
@@ -112,14 +121,39 @@ func (g *Graph) TopLevels(timeOf TimeFunc, commOf CommFunc) []float64 {
 		}
 		tl[t.ID] = best
 	}
+}
+
+// scratchLevels returns the graph-owned bottom- and top-level scratch
+// buffers, allocating them on first use.
+func (g *Graph) scratchLevels() (bl, tl []float64) {
+	if len(g.scratchBL) != len(g.Tasks) {
+		g.scratchBL = make([]float64, len(g.Tasks))
+		g.scratchTL = make([]float64, len(g.Tasks))
+	}
+	return g.scratchBL, g.scratchTL
+}
+
+// BottomLevels returns, indexed by task ID, each task's bottom level: its
+// execution time plus the maximum over successors of edge cost plus the
+// successor's bottom level — the distance to the end of the application
+// (§5). The mapper sorts ready tasks by decreasing bottom level.
+func (g *Graph) BottomLevels(timeOf TimeFunc, commOf CommFunc) []float64 {
+	bl := make([]float64, len(g.Tasks))
+	g.bottomLevelsInto(bl, timeOf, commOf)
+	return bl
+}
+
+// TopLevels returns, indexed by task ID, the length of the longest path
+// from an entry task to the task, excluding the task's own time.
+func (g *Graph) TopLevels(timeOf TimeFunc, commOf CommFunc) []float64 {
+	tl := make([]float64, len(g.Tasks))
+	g.topLevelsInto(tl, timeOf, commOf)
 	return tl
 }
 
-// CriticalPathLength returns the length of the critical path: the maximal
-// bottom level over entry tasks. This is the "critical path" characteristic
-// used by the PS-cp and WPS-cp strategies (§6).
-func (g *Graph) CriticalPathLength(timeOf TimeFunc, commOf CommFunc) float64 {
-	bl := g.BottomLevels(timeOf, commOf)
+// maxEntryLevel returns the critical path length given computed bottom
+// levels: the maximal bottom level over entry tasks.
+func (g *Graph) maxEntryLevel(bl []float64) float64 {
 	best := 0.0
 	for _, t := range g.Entries() {
 		if bl[t.ID] > best {
@@ -129,11 +163,21 @@ func (g *Graph) CriticalPathLength(timeOf TimeFunc, commOf CommFunc) float64 {
 	return best
 }
 
+// CriticalPathLength returns the length of the critical path: the maximal
+// bottom level over entry tasks. This is the "critical path" characteristic
+// used by the PS-cp and WPS-cp strategies (§6).
+func (g *Graph) CriticalPathLength(timeOf TimeFunc, commOf CommFunc) float64 {
+	bl, _ := g.scratchLevels()
+	g.bottomLevelsInto(bl, timeOf, commOf)
+	return g.maxEntryLevel(bl)
+}
+
 // CriticalPath returns one maximal-length chain of tasks from an entry to
 // an exit under the given time and communication estimates. Ties are broken
 // by task ID for determinism.
 func (g *Graph) CriticalPath(timeOf TimeFunc, commOf CommFunc) []*Task {
-	bl := g.BottomLevels(timeOf, commOf)
+	bl, _ := g.scratchLevels()
+	g.bottomLevelsInto(bl, timeOf, commOf)
 	var cur *Task
 	for _, t := range g.Entries() {
 		if cur == nil || bl[t.ID] > bl[cur.ID] {
@@ -168,11 +212,14 @@ func (g *Graph) CriticalPath(timeOf TimeFunc, commOf CommFunc) []*Task {
 
 // OnCriticalPath returns a boolean per task ID marking tasks whose top
 // level + time + bottom level equals the critical path length (within
-// tolerance): the set of critical tasks the allocator may widen.
+// tolerance): the set of critical tasks the allocator may widen. Bottom
+// levels are computed once and shared between the mark test and the
+// critical path length (the seed recomputed them three times per call).
 func (g *Graph) OnCriticalPath(timeOf TimeFunc, commOf CommFunc) []bool {
-	bl := g.BottomLevels(timeOf, commOf)
-	tl := g.TopLevels(timeOf, commOf)
-	cp := g.CriticalPathLength(timeOf, commOf)
+	bl, tl := g.scratchLevels()
+	g.bottomLevelsInto(bl, timeOf, commOf)
+	g.topLevelsInto(tl, timeOf, commOf)
+	cp := g.maxEntryLevel(bl)
 	const relTol = 1e-9
 	marks := make([]bool, len(g.Tasks))
 	for _, t := range g.Tasks {

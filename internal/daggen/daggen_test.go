@@ -113,7 +113,7 @@ func TestRandomConfigValidation(t *testing.T) {
 func TestFFTTaskCounts(t *testing.T) {
 	// Classical 2n-1 + n·log n counts for the paper's 4-, 8-, 16-point
 	// FFTs. (The paper lists 15, 37, 95; the standard construction gives
-	// 39 for the 8-point case — see EXPERIMENTS.md.)
+	// 39 for the 8-point case.)
 	want := map[int]int{2: 15, 3: 39, 4: 95}
 	for k, n := range want {
 		if got := FFTTaskCount(k); got != n {

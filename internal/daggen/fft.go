@@ -12,7 +12,7 @@ import (
 // the classical test case used by the paper (§2, after [5]): a recursive
 // splitting binary tree of depth k followed by k butterfly stages of 2^k
 // tasks each. Task counts are 15, 39 and 95 for k = 2, 3, 4, matching the
-// paper's FFT sizes (the paper reports 15, 37 and 95; see EXPERIMENTS.md
+// paper's FFT sizes (the paper reports 15, 37 and 95; see the daggen tests
 // for the off-by-two note on the middle size).
 //
 // FFT PTGs are regular: every task in a level has the same cost. The root

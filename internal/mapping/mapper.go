@@ -1,7 +1,6 @@
 package mapping
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -34,37 +33,113 @@ type taskRef struct {
 	task *dag.Task
 }
 
+// procSlot is one processor's availability: the time at which it becomes
+// free under the reservations made so far.
+type procSlot struct {
+	time float64
+	proc int
+}
+
+// clusterState maintains one cluster's processor availability as a
+// persistently sorted structure: slots ordered by (time, proc). Every
+// candidate evaluation reads the q-th earliest time in O(1) and every
+// reservation restores the order with a single linear merge, replacing the
+// seed's per-candidate copy-and-sort and per-placement stable sort.
+type clusterState struct {
+	slots []procSlot
+	// scratch is the merge buffer reused across reservations.
+	scratch []procSlot
+}
+
+// reserve books the q earliest-available processors until end and returns
+// their indices in ascending order. The (time, proc) order matches the
+// seed's stable sort of processor indices by availability, so the chosen
+// set is identical.
+func (cs *clusterState) reserve(q int, end float64) []int {
+	procs := make([]int, q)
+	for i := 0; i < q; i++ {
+		procs[i] = cs.slots[i].proc
+	}
+	sort.Ints(procs)
+
+	// Merge the untouched tail (already sorted) with the q re-reserved
+	// slots (all at time end, ascending proc) back into sorted order.
+	tail := cs.slots[q:]
+	merged := cs.scratch[:0]
+	ti, ni := 0, 0
+	for ti < len(tail) && ni < q {
+		nt := procSlot{time: end, proc: procs[ni]}
+		if tail[ti].time < nt.time || (tail[ti].time == nt.time && tail[ti].proc < nt.proc) {
+			merged = append(merged, tail[ti])
+			ti++
+		} else {
+			merged = append(merged, nt)
+			ni++
+		}
+	}
+	merged = append(merged, tail[ti:]...)
+	for ; ni < q; ni++ {
+		merged = append(merged, procSlot{time: end, proc: procs[ni]})
+	}
+	cs.scratch = cs.slots[:0]
+	cs.slots = merged
+	return procs
+}
+
+// feed is one predecessor's contribution to a task's data-ready time.
+type feed struct {
+	end   float64
+	from  *platform.Cluster
+	bytes float64
+}
+
 type mapper struct {
 	pf    *platform.Platform
 	apps  []*alloc.Allocation
 	opts  Options
 	sched *Schedule
 
-	// avail[k][i] is the time at which processor i of cluster k becomes
-	// free under the reservations made so far.
-	avail [][]float64
+	// cs[k] is the availability view of cluster k.
+	cs []clusterState
+	// want[app][k][taskID] is the translated allocation width of the task
+	// on cluster k, precomputed in one batch per application.
+	want [][][]int
 	// bl[app][taskID] is the task's bottom level under its reference
 	// allocation (computation only, per §5).
 	bl [][]float64
+	// feeds is the per-task data-ready scratch buffer, refilled before the
+	// cluster scan of each placement instead of rebuilding a closure.
+	feeds []feed
 }
 
 func newMapper(pf *platform.Platform, apps []*alloc.Allocation, opts Options) *mapper {
+	total := 0
+	for _, a := range apps {
+		total += len(a.Graph.Tasks)
+	}
 	m := &mapper{
 		pf:   pf,
 		apps: apps,
 		opts: opts,
 		sched: &Schedule{
-			Platform: pf,
-			Apps:     apps,
-			byTask:   make(map[*dag.Task]*Placement),
+			Platform:   pf,
+			Apps:       apps,
+			Placements: make([]*Placement, 0, total),
+			byTask:     make(map[*dag.Task]*Placement, total),
 		},
 	}
-	m.avail = make([][]float64, len(pf.Clusters))
+	m.cs = make([]clusterState, len(pf.Clusters))
 	for k, c := range pf.Clusters {
-		m.avail[k] = make([]float64, c.Procs)
+		slots := make([]procSlot, c.Procs)
+		for i := range slots {
+			slots[i] = procSlot{time: 0, proc: i}
+		}
+		m.cs[k] = clusterState{slots: slots, scratch: make([]procSlot, 0, c.Procs)}
 	}
+	m.want = make([][][]int, len(apps))
 	m.bl = make([][]float64, len(apps))
 	for i, a := range apps {
+		m.want[i] = alloc.TranslateBatch(a.Procs, a.Ref, pf.Clusters)
 		m.bl[i] = a.Graph.BottomLevels(a.TimeOf, dag.ZeroComm)
 	}
 	return m
@@ -93,21 +168,16 @@ type candidate struct {
 
 // bestOnCluster evaluates placing task t of application app on cluster c.
 // dataReady is the earliest time all predecessor data can be at c. The
-// translated allocation width may be reduced by allocation packing.
+// translated allocation width may be reduced by allocation packing. The
+// evaluation reads the cluster's shared sorted availability view directly:
+// no per-candidate allocation or sort.
 func (m *mapper) bestOnCluster(app int, t *dag.Task, c *platform.Cluster, dataReady float64) candidate {
-	a := m.apps[app]
-	want := alloc.Translate(a.Procs[t.ID], a.Ref, c)
-
-	free := append([]float64(nil), m.avail[c.Index]...)
-	sort.Float64s(free)
-
-	eval := func(q int) (start, end float64) {
-		start = math.Max(dataReady, free[q-1])
-		return start, start + cost.TaskTime(t, c.Speed, q)
-	}
+	want := m.want[app][c.Index][t.ID]
+	slots := m.cs[c.Index].slots
 
 	best := candidate{cluster: c, procs: want}
-	best.start, best.end = eval(want)
+	best.start = math.Max(dataReady, slots[want-1].time)
+	best.end = best.start + cost.TaskTime(t, c.Speed, want)
 	if m.opts.NoPacking {
 		return best
 	}
@@ -116,31 +186,29 @@ func (m *mapper) bestOnCluster(app int, t *dag.Task, c *platform.Cluster, dataRe
 	// the earliest finish, then the earliest start, then the widest
 	// allocation.
 	for q := want - 1; q >= 1; q-- {
-		start, end := eval(q)
-		if start >= best.start && q != want {
+		start := math.Max(dataReady, slots[q-1].time)
+		if start >= best.start {
 			// Narrower cannot start later than a wider allocation's
 			// processors allow; once start stops improving, no smaller q
-			// will help (free[] is sorted).
+			// will help (slots are sorted by time).
 			break
 		}
-		if start < best.start && end <= best.end {
-			if end < best.end || start < best.start {
-				best = candidate{cluster: c, procs: q, start: start, end: end}
-			}
+		if end := start + cost.TaskTime(t, c.Speed, q); end <= best.end {
+			best = candidate{cluster: c, procs: q, start: start, end: end}
 		}
 	}
 	return best
 }
 
-// place maps task t of application app given per-cluster data-ready times,
-// choosing the earliest-finish candidate across clusters (ties: earlier
-// start, then fewer processors, then cluster index). It reserves the
-// processors and records the placement.
-func (m *mapper) place(app int, t *dag.Task, dataReadyAt func(*platform.Cluster) float64) *Placement {
+// place maps task t of application app, choosing the earliest-finish
+// candidate across clusters (ties: earlier start, then fewer processors,
+// then cluster index). It reserves the processors and records the
+// placement. m.feeds must already hold the task's predecessor feeds.
+func (m *mapper) place(app int, t *dag.Task) *Placement {
 	var best candidate
 	found := false
 	for _, c := range m.pf.Clusters {
-		cand := m.bestOnCluster(app, t, c, dataReadyAt(c))
+		cand := m.bestOnCluster(app, t, c, m.dataReady(c))
 		if !found || better(cand, best) {
 			best = cand
 			found = true
@@ -150,18 +218,7 @@ func (m *mapper) place(app int, t *dag.Task, dataReadyAt func(*platform.Cluster)
 		panic("mapping: no cluster available")
 	}
 
-	// Reserve the q earliest-available processors of the chosen cluster.
-	k := best.cluster.Index
-	idx := make([]int, len(m.avail[k]))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(i, j int) bool { return m.avail[k][idx[i]] < m.avail[k][idx[j]] })
-	procs := append([]int(nil), idx[:best.procs]...)
-	sort.Ints(procs)
-	for _, i := range procs {
-		m.avail[k][i] = best.end
-	}
+	procs := m.cs[best.cluster.Index].reserve(best.procs, best.end)
 
 	p := &Placement{
 		App:     app,
@@ -190,45 +247,47 @@ func better(a, b candidate) bool {
 	return a.cluster.Index < b.cluster.Index
 }
 
-// dataReadyFunc returns the data-ready-time function of task t given the
-// placements of its predecessors: for each candidate cluster, the latest
-// predecessor end plus the (contention-free) redistribution estimate.
-func (m *mapper) dataReadyFunc(t *dag.Task) func(*platform.Cluster) float64 {
-	type feed struct {
-		end   float64
-		from  *platform.Cluster
-		bytes float64
-	}
-	feeds := make([]feed, 0, len(t.In()))
+// loadFeeds fills m.feeds with the placements of t's predecessors: for each
+// candidate cluster, dataReady then yields the latest predecessor end plus
+// the (contention-free) redistribution estimate.
+func (m *mapper) loadFeeds(t *dag.Task) {
+	m.feeds = m.feeds[:0]
 	for _, e := range t.In() {
 		p := m.sched.byTask[e.From]
 		if p == nil {
 			panic(fmt.Sprintf("mapping: predecessor %q not yet placed", e.From.Name))
 		}
-		feeds = append(feeds, feed{end: p.End, from: p.Cluster, bytes: e.Bytes})
+		m.feeds = append(m.feeds, feed{end: p.End, from: p.Cluster, bytes: e.Bytes})
 	}
-	return func(c *platform.Cluster) float64 {
-		ready := 0.0
-		for _, f := range feeds {
-			at := f.end + m.pf.TransferTime(f.from, c, f.bytes)
-			if at > ready {
-				ready = at
-			}
+}
+
+// dataReady returns the earliest time all predecessor data can be at c,
+// given the feeds loaded by loadFeeds.
+func (m *mapper) dataReady(c *platform.Cluster) float64 {
+	ready := 0.0
+	for _, f := range m.feeds {
+		at := f.end + m.pf.TransferTime(f.from, c, f.bytes)
+		if at > ready {
+			ready = at
 		}
-		return ready
 	}
+	return ready
 }
 
 // runReady implements the paper's procedure: a virtual clock advances
 // through task completion events; at each instant every ready task (all
-// predecessors finished) is mapped in decreasing bottom-level order.
+// predecessors finished) is mapped in decreasing bottom-level order. The
+// ready set is a priority heap keyed by the same order the seed sorted by,
+// so tasks are placed in an identical sequence without re-sorting the list
+// at every instant.
 func (m *mapper) runReady() {
-	remainingPreds := make([]map[*dag.Task]int, len(m.apps))
+	// remainingPreds[app][taskID] counts unfinished predecessors.
+	remainingPreds := make([][]int, len(m.apps))
 	total := 0
 	for i, a := range m.apps {
-		remainingPreds[i] = make(map[*dag.Task]int, len(a.Graph.Tasks))
+		remainingPreds[i] = make([]int, len(a.Graph.Tasks))
 		for _, t := range a.Graph.Tasks {
-			remainingPreds[i][t] = len(t.In())
+			remainingPreds[i][t.ID] = len(t.In())
 		}
 		total += len(a.Graph.Tasks)
 	}
@@ -236,47 +295,46 @@ func (m *mapper) runReady() {
 	// completions orders mapped-but-not-finished tasks by end time.
 	var completions completionHeap
 
-	// ready holds tasks whose predecessors have all finished.
-	var ready []taskRef
+	ready := readyHeap{m: m, refs: make([]taskRef, 0, total)}
 	for i, a := range m.apps {
 		for _, t := range a.Graph.Tasks {
 			if len(t.In()) == 0 {
-				ready = append(ready, taskRef{i, t})
+				ready.refs = append(ready.refs, taskRef{i, t})
 			}
 		}
 	}
+	ready.init()
+	completions.grow(total)
 
 	mapped := 0
 	for mapped < total {
-		if len(ready) == 0 {
-			if completions.Len() == 0 {
+		if ready.len() == 0 {
+			if completions.len() == 0 {
 				panic("mapping: no ready tasks and no pending completions")
 			}
 			// Advance the clock to the next completion (and all
 			// completions at the same instant) to release successors.
-			c := heap.Pop(&completions).(completion)
+			c := completions.pop()
 			m.release(c, remainingPreds, &ready)
-			for completions.Len() > 0 && completions[0].end == c.end {
-				m.release(heap.Pop(&completions).(completion), remainingPreds, &ready)
+			for completions.len() > 0 && completions.heap[0].end == c.end {
+				m.release(completions.pop(), remainingPreds, &ready)
 			}
 			continue
 		}
-		sort.Slice(ready, func(i, j int) bool { return m.less(ready[i], ready[j]) })
-		for _, ref := range ready {
-			p := m.place(ref.app, ref.task, m.dataReadyFunc(ref.task))
-			heap.Push(&completions, completion{ref: ref, end: p.End})
-			mapped++
-		}
-		ready = ready[:0]
+		ref := ready.pop()
+		m.loadFeeds(ref.task)
+		p := m.place(ref.app, ref.task)
+		completions.push(completion{ref: ref, end: p.End})
+		mapped++
 	}
 }
 
-func (m *mapper) release(c completion, remainingPreds []map[*dag.Task]int, ready *[]taskRef) {
+func (m *mapper) release(c completion, remainingPreds [][]int, ready *readyHeap) {
 	for _, e := range c.ref.task.Out() {
 		succ := e.To
-		remainingPreds[c.ref.app][succ]--
-		if remainingPreds[c.ref.app][succ] == 0 {
-			*ready = append(*ready, taskRef{c.ref.app, succ})
+		remainingPreds[c.ref.app][succ.ID]--
+		if remainingPreds[c.ref.app][succ.ID] == 0 {
+			ready.push(taskRef{c.ref.app, succ})
 		}
 	}
 }
@@ -294,7 +352,68 @@ func (m *mapper) runGlobal() {
 	}
 	sort.Slice(all, func(i, j int) bool { return m.less(all[i], all[j]) })
 	for _, ref := range all {
-		m.place(ref.app, ref.task, m.dataReadyFunc(ref.task))
+		m.loadFeeds(ref.task)
+		m.place(ref.app, ref.task)
+	}
+}
+
+// readyHeap is a priority heap of ready tasks ordered by the mapper's
+// priority (decreasing bottom level, ties by application then task ID).
+// The heap stores concrete taskRefs — unlike container/heap, pushes do not
+// box values into interfaces, which dominated the seed's allocation count.
+type readyHeap struct {
+	m    *mapper
+	refs []taskRef
+}
+
+func (h *readyHeap) len() int { return len(h.refs) }
+
+func (h *readyHeap) init() {
+	for i := len(h.refs)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *readyHeap) push(ref taskRef) {
+	h.refs = append(h.refs, ref)
+	i := len(h.refs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.m.less(h.refs[i], h.refs[parent]) {
+			break
+		}
+		h.refs[i], h.refs[parent] = h.refs[parent], h.refs[i]
+		i = parent
+	}
+}
+
+func (h *readyHeap) pop() taskRef {
+	top := h.refs[0]
+	n := len(h.refs) - 1
+	h.refs[0] = h.refs[n]
+	h.refs = h.refs[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *readyHeap) down(i int) {
+	n := len(h.refs)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		next := l
+		if r := l + 1; r < n && h.m.less(h.refs[r], h.refs[l]) {
+			next = r
+		}
+		if !h.m.less(h.refs[next], h.refs[i]) {
+			return
+		}
+		h.refs[i], h.refs[next] = h.refs[next], h.refs[i]
+		i = next
 	}
 }
 
@@ -303,16 +422,51 @@ type completion struct {
 	end float64
 }
 
-type completionHeap []completion
+// completionHeap is a boxing-free min-heap of completions keyed by end time.
+type completionHeap struct {
+	heap []completion
+}
 
-func (h completionHeap) Len() int           { return len(h) }
-func (h completionHeap) Less(i, j int) bool { return h[i].end < h[j].end }
-func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() any {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	*h = old[:n-1]
-	return c
+func (h *completionHeap) len() int { return len(h.heap) }
+
+func (h *completionHeap) grow(n int) {
+	if cap(h.heap) < n {
+		h.heap = append(make([]completion, 0, n), h.heap...)
+	}
+}
+
+func (h *completionHeap) push(c completion) {
+	h.heap = append(h.heap, c)
+	i := len(h.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.heap[i].end >= h.heap[parent].end {
+			break
+		}
+		h.heap[i], h.heap[parent] = h.heap[parent], h.heap[i]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() completion {
+	top := h.heap[0]
+	n := len(h.heap) - 1
+	h.heap[0] = h.heap[n]
+	h.heap = h.heap[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		next := l
+		if r := l + 1; r < n && h.heap[r].end < h.heap[l].end {
+			next = r
+		}
+		if h.heap[next].end >= h.heap[i].end {
+			break
+		}
+		h.heap[i], h.heap[next] = h.heap[next], h.heap[i]
+		i = next
+	}
+	return top
 }

@@ -158,6 +158,54 @@ func TestAllocationPackingShrinks(t *testing.T) {
 	}
 }
 
+// TestPackingBoundaryTies pins the packing rule exactly at its boundaries.
+//
+// End boundary (end == best.end, start < best.start): with alpha 0 a width-1
+// run takes exactly twice the width-2 time, so a task whose 2-proc slot
+// opens at half its 1-proc duration finishes at the *same* instant either
+// way; packing must still shrink because the start strictly improves and
+// the rule is "starts earlier and finishes no later".
+//
+// Start boundary (start == best.start): when the narrower width cannot
+// start any earlier the scan must stop and keep the full width, even
+// though narrower widths exist.
+func TestPackingBoundaryTies(t *testing.T) {
+	pf := singleCluster(2, 1)
+	ref := pf.ReferenceCluster()
+
+	// hog (app 0) and late (app 1) have equal bottom levels (5), so the
+	// app index places hog first: it occupies one processor until t=5.
+	// late then sees availability {0, 5}: 2 procs → [5,10], 1 proc →
+	// [0,10]. Equal ends, earlier start: shrink to 1.
+	hog := chain("hog", 5)
+	late := chain("late", 10)
+	s := mapping.Map(pf, []*alloc.Allocation{
+		handAlloc(hog, ref, []int{1}),
+		handAlloc(late, ref, []int{2}),
+	}, mapping.Options{})
+	p := s.PlacementOf(late.Tasks[0])
+	if len(p.Procs) != 1 {
+		t.Fatalf("end-boundary: packing kept %d procs, want shrink to 1", len(p.Procs))
+	}
+	if p.Start != 0 || math.Abs(p.End-10) > 1e-12 {
+		t.Fatalf("end-boundary placement [%g,%g], want [0,10]", p.Start, p.End)
+	}
+
+	// Start boundary: both processors free at 0, so width 1 starts no
+	// earlier than width 2 and the allocation must stay at 2.
+	solo := chain("solo", 10)
+	s2 := mapping.Map(pf, []*alloc.Allocation{
+		handAlloc(solo, ref, []int{2}),
+	}, mapping.Options{})
+	q := s2.PlacementOf(solo.Tasks[0])
+	if len(q.Procs) != 2 {
+		t.Fatalf("start-boundary: packing shrank to %d procs, want 2", len(q.Procs))
+	}
+	if q.Start != 0 || math.Abs(q.End-5) > 1e-12 {
+		t.Fatalf("start-boundary placement [%g,%g], want [0,5]", q.Start, q.End)
+	}
+}
+
 func TestPackingNeverHurtsFinishTime(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		r := rand.New(rand.NewSource(seed))

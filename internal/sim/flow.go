@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Link is a network resource with a fixed capacity in bytes per second and a
@@ -31,12 +30,20 @@ func NewLink(name string, capacity, latency float64) *Link {
 type Flow struct {
 	Label     string
 	route     []*Link
+	routeIDs  []int   // dense link IDs within the owning FlowNet's solver
 	remaining float64 // bytes still to transfer once started
 	rate      float64 // current bytes/s, set by the fair-share solver
 	started   bool    // latency elapsed, transferring
 	done      bool
 	onDone    func(endTime float64)
 	startEv   *Event
+}
+
+// NewTestFlow returns an unstarted flow over route with the given remaining
+// bytes. It is not registered with any FlowNet: it exists so tests and
+// benchmarks outside the package can exercise FairShareRates directly.
+func NewTestFlow(route []*Link, remaining float64) *Flow {
+	return &Flow{route: route, remaining: remaining}
 }
 
 // Remaining returns the bytes still to be transferred (excluding latency).
@@ -63,6 +70,9 @@ type FlowNet struct {
 	// whose completion time underflows against the clock, stalling the
 	// simulation in a zero-dt event loop.
 	nextDone *Flow
+	// solver holds the persistent link registry and the scratch state of
+	// the fair-share computation, reused across reshares.
+	solver fairShareSolver
 }
 
 // NewFlowNet returns a flow manager bound to eng.
@@ -75,17 +85,18 @@ func NewFlowNet(eng *Engine) *FlowNet {
 // transfers at its fair-share rate. onDone, if non-nil, fires at completion
 // with the completion time. A transfer of zero bytes completes after the
 // route latency alone. An empty route models a purely local exchange and
-// completes immediately.
+// completes immediately: no network or engine involvement at all, so the
+// flow is finished — and onDone has fired — before Start returns.
 func (n *FlowNet) Start(label string, route []*Link, bytes float64, onDone func(endTime float64)) *Flow {
 	if bytes < 0 {
 		panic(fmt.Sprintf("sim: flow %q with negative size %g", label, bytes))
 	}
 	f := &Flow{Label: label, route: route, remaining: bytes, onDone: onDone}
 	if len(route) == 0 {
-		// Local exchange: no network involvement at all.
-		n.eng.After(0, "flow-local:"+label, func() { n.finish(f) })
+		n.finish(f)
 		return f
 	}
+	f.routeIDs = n.solver.register(route, nil)
 	lat := 0.0
 	for _, l := range route {
 		lat += l.Latency
@@ -134,7 +145,7 @@ func (n *FlowNet) reshare() {
 	if len(n.active) == 0 {
 		return
 	}
-	FairShareRates(n.active)
+	n.solver.solve(n.active, nil)
 
 	// Find the earliest completion among active flows.
 	next := math.Inf(1)
@@ -194,47 +205,153 @@ func (n *FlowNet) finish(f *Flow) {
 
 // FairShareRates computes bounded max-min fair rates for the given flows by
 // progressive filling and stores them in each flow's rate field. It is
-// exported (within the package tree) for direct property testing.
+// exported (within the package tree) for direct property testing; the
+// simulation's own reshare path reuses a persistent per-FlowNet solver
+// instead, so link registration happens once per flow rather than once per
+// call.
 func FairShareRates(flows []*Flow) {
-	type linkState struct {
-		capLeft float64
-		nUnsat  int
-	}
-	states := make(map[*Link]*linkState)
-	unsat := make(map[*Flow]bool, len(flows))
+	var s fairShareSolver
+	total := 0
 	for _, f := range flows {
-		f.rate = 0
-		unsat[f] = true
-		for _, l := range f.route {
-			st, ok := states[l]
-			if !ok {
-				st = &linkState{capLeft: l.Capacity}
-				states[l] = st
+		total += len(f.route)
+	}
+	flat := make([]int, 0, total)
+	routes := make([][]int, len(flows))
+	for i, f := range flows {
+		start := len(flat)
+		flat = s.register(f.route, flat)
+		routes[i] = flat[start:]
+	}
+	s.solve(flows, routes)
+}
+
+// fairShareSolver is the index-based progressive-filling engine behind
+// FairShareRates. Each distinct link is assigned a dense integer ID at
+// registration; all per-round state (remaining capacity, unsaturated-flow
+// counts, the unsaturated set itself) lives in slices indexed by those IDs,
+// so the solve loop performs no map iteration and no sorting.
+//
+// Determinism: the seed implementation broke bottleneck-share ties by
+// iterating candidate links in name order. The solver precomputes each
+// link's rank in that same name order (ties by registration order) and
+// breaks share ties by rank, selecting the identical bottleneck without
+// re-sorting every round. Flows are saturated in ascending flow-slice
+// order, which also fixes the arithmetic order of the capacity decrements
+// — the seed left it to map iteration order.
+type fairShareSolver struct {
+	ids    map[*Link]int // link → dense ID
+	links  []*Link       // dense ID → link
+	rank   []int         // dense ID → position in name order
+	rankOK bool
+
+	// Scratch reused across solves, indexed by dense ID. stamp marks the
+	// IDs touched by the current solve (== epoch), so nothing needs
+	// clearing between calls.
+	epoch   uint64
+	stamp   []uint64
+	capLeft []float64
+	nUnsat  []int
+	used    []int // IDs touched by the current solve
+	unsat   []int // flow indices not yet saturated, in slice order
+}
+
+// register assigns dense IDs to the links of route, appending them to dst.
+func (s *fairShareSolver) register(route []*Link, dst []int) []int {
+	for _, l := range route {
+		id, ok := s.ids[l]
+		if !ok {
+			if s.ids == nil {
+				s.ids = make(map[*Link]int)
 			}
-			st.nUnsat++
+			id = len(s.links)
+			s.ids[l] = id
+			s.links = append(s.links, l)
+			s.stamp = append(s.stamp, 0)
+			s.capLeft = append(s.capLeft, 0)
+			s.nUnsat = append(s.nUnsat, 0)
+			s.rankOK = false
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// ensureRanks recomputes the name-order ranks after new registrations.
+func (s *fairShareSolver) ensureRanks() {
+	if s.rankOK {
+		return
+	}
+	order := make([]int, len(s.links))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by (name, ID): links are few and registrations rare.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if s.links[a].Name < s.links[b].Name ||
+				(s.links[a].Name == s.links[b].Name && a < b) {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
 		}
 	}
+	s.rank = make([]int, len(s.links))
+	for pos, id := range order {
+		s.rank[id] = pos
+	}
+	s.rankOK = true
+}
+
+// solve computes bounded max-min fair rates for flows by progressive
+// filling. routes[i] gives flow i's route as dense IDs; a nil routes uses
+// each flow's own registered routeIDs.
+func (s *fairShareSolver) solve(flows []*Flow, routes [][]int) {
+	if len(flows) == 0 {
+		return
+	}
+	routeOf := func(i int) []int {
+		if routes != nil {
+			return routes[i]
+		}
+		return flows[i].routeIDs
+	}
+	s.ensureRanks()
+	s.epoch++
+	used := s.used[:0]
+	for i, f := range flows {
+		f.rate = 0
+		for _, id := range routeOf(i) {
+			if s.stamp[id] != s.epoch {
+				s.stamp[id] = s.epoch
+				s.capLeft[id] = s.links[id].Capacity
+				s.nUnsat[id] = 0
+				used = append(used, id)
+			}
+			s.nUnsat[id]++
+		}
+	}
+	unsat := s.unsat[:0]
+	for i := range flows {
+		unsat = append(unsat, i)
+	}
+
 	for len(unsat) > 0 {
-		// Find the bottleneck link: smallest fair share capLeft/nUnsat.
-		var bottleneck *Link
+		// Find the bottleneck link: smallest fair share capLeft/nUnsat,
+		// ties broken by name-order rank.
+		bott := -1
 		share := math.Inf(1)
-		// Deterministic iteration: sort candidate links by name.
-		links := make([]*Link, 0, len(states))
-		for l, st := range states {
-			if st.nUnsat > 0 {
-				links = append(links, l)
+		for _, id := range used {
+			if s.nUnsat[id] == 0 {
+				continue
+			}
+			sh := s.capLeft[id] / float64(s.nUnsat[id])
+			if sh < share || (sh == share && bott >= 0 && s.rank[id] < s.rank[bott]) {
+				share = sh
+				bott = id
 			}
 		}
-		sort.Slice(links, func(i, j int) bool { return links[i].Name < links[j].Name })
-		for _, l := range links {
-			st := states[l]
-			s := st.capLeft / float64(st.nUnsat)
-			if s < share {
-				share = s
-				bottleneck = l
-			}
-		}
-		if bottleneck == nil {
+		if bott < 0 {
 			// No remaining link constrains the unsaturated flows; this can
 			// only happen for flows with empty routes, which Start handles
 			// separately, so treat as a bug.
@@ -243,28 +360,32 @@ func FairShareRates(flows []*Flow) {
 		if share < 0 {
 			share = 0
 		}
-		// Saturate every unsaturated flow crossing the bottleneck.
-		for f := range unsat {
+		// Saturate every unsaturated flow crossing the bottleneck, in
+		// flow order; compact the rest in place, preserving order.
+		kept := unsat[:0]
+		for _, fi := range unsat {
 			crosses := false
-			for _, l := range f.route {
-				if l == bottleneck {
+			for _, id := range routeOf(fi) {
+				if id == bott {
 					crosses = true
 					break
 				}
 			}
 			if !crosses {
+				kept = append(kept, fi)
 				continue
 			}
-			f.rate = share
-			delete(unsat, f)
-			for _, l := range f.route {
-				st := states[l]
-				st.capLeft -= share
-				if st.capLeft < 0 {
-					st.capLeft = 0
+			flows[fi].rate = share
+			for _, id := range routeOf(fi) {
+				s.capLeft[id] -= share
+				if s.capLeft[id] < 0 {
+					s.capLeft[id] = 0
 				}
-				st.nUnsat--
+				s.nUnsat[id]--
 			}
 		}
+		unsat = kept
 	}
+	s.used = used
+	s.unsat = unsat
 }

@@ -115,6 +115,68 @@ func TestEmptyRouteFlowIsImmediate(t *testing.T) {
 	}
 }
 
+// TestEmptyRouteFlowCompletesSynchronously pins Start's documented
+// contract for local exchanges: the flow is finished — and onDone has
+// fired at the current virtual time — before Start returns, with no
+// engine event involved.
+func TestEmptyRouteFlowCompletesSynchronously(t *testing.T) {
+	e := NewEngine()
+	n := NewFlowNet(e)
+	end := -1.0
+	f := n.Start("local", nil, 42, func(tEnd float64) { end = tEnd })
+	if !f.Done() {
+		t.Fatal("empty-route flow not done when Start returned")
+	}
+	if end != 0 {
+		t.Fatalf("onDone fired at %g before Run, want 0", end)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events pending, want 0 (no engine involvement)", e.Pending())
+	}
+
+	// Mid-simulation the completion time is the current virtual instant.
+	at := -1.0
+	e.At(3, "go", func() {
+		n.Start("local2", nil, 7, func(tEnd float64) { at = tEnd })
+	})
+	e.Run()
+	if at != 3 {
+		t.Fatalf("mid-run local flow ended at %g, want 3", at)
+	}
+}
+
+// TestZeroByteEmptyRouteFlow covers the degenerate corner of both rules:
+// no bytes and no links still means synchronous completion.
+func TestZeroByteEmptyRouteFlow(t *testing.T) {
+	e := NewEngine()
+	n := NewFlowNet(e)
+	end := -1.0
+	f := n.Start("null", nil, 0, func(tEnd float64) { end = tEnd })
+	if !f.Done() || end != 0 {
+		t.Fatalf("zero-byte empty-route flow: done=%v end=%g, want done at 0", f.Done(), end)
+	}
+}
+
+// TestZeroByteFlowNotDoneBeforeLatency pins the asymmetry with non-empty
+// routes: a zero-byte flow over links still waits for the route latency,
+// so it is not done when Start returns.
+func TestZeroByteFlowNotDoneBeforeLatency(t *testing.T) {
+	e := NewEngine()
+	n := NewFlowNet(e)
+	link := NewLink("l", 1e9, 0.5)
+	f := n.Start("f", []*Link{link}, 0, nil)
+	if f.Done() {
+		t.Fatal("zero-byte routed flow done before its latency elapsed")
+	}
+	e.Run()
+	if !f.Done() {
+		t.Fatal("zero-byte routed flow never finished")
+	}
+	if now := e.Now(); !approx(now, 0.5) {
+		t.Fatalf("finished at %g, want 0.5 (latency)", now)
+	}
+}
+
 func TestNegativeFlowSizePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -28,7 +28,8 @@
 //	fmt.Println(res.GlobalMakespan())
 //
 // The experiment sub-API (RunExperiment with Fig2Config … Fig5Config)
-// regenerates every figure of the paper's evaluation; see EXPERIMENTS.md.
+// regenerates every figure of the paper's evaluation; see the cmd/ptgbench
+// doc comment for the command-line entry points.
 package ptgsched
 
 import (
@@ -77,7 +78,11 @@ var (
 
 // PTG modelling and generation.
 type (
-	// Graph is a parallel task graph.
+	// Graph is a parallel task graph. Its structural analyses (topological
+	// order, precedence levels, entries/exits) are cached on the graph and
+	// share scratch buffers, so a Graph must not be analyzed or scheduled
+	// from multiple goroutines concurrently, and slices returned by its
+	// analysis methods must be treated as read-only.
 	Graph = dag.Graph
 	// Task is a moldable data-parallel task.
 	Task = dag.Task
