@@ -35,7 +35,7 @@ func main() {
 		name     = flag.String("experiment", "table1", "table1, fig1, fig2, fig3, fig4, fig5, mu-calibration, ablation, dynamic or bench")
 		reps     = flag.Int("reps", 25, "random PTG combinations per point (paper: 25)")
 		seed     = flag.Int64("seed", 42, "base random seed")
-		workers  = flag.Int("workers", 0, "concurrent runs (default: NumCPU)")
+		workers  = flag.Int("workers", 0, "concurrent runs (default: GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "also write the aggregated results to this CSV file")
 		jsonPath = flag.String("json", "", "bench: write the regression report to this JSON file (e.g. BENCH_mapping.json)")
 	)

@@ -1,0 +1,85 @@
+// Command ptgserve runs the concurrent scheduling service as an HTTP+JSON
+// server: schedule/online/workload requests are queued onto a bounded
+// worker pool, each worker executing the full paper pipeline per request.
+//
+// Usage:
+//
+//	ptgserve -addr :8080 -workers 8 -queue 128 -timeout 60s
+//
+// Endpoints:
+//
+//	POST /v1/schedule  {"platform":"rennes","family":"random","count":6,"strategy":"WPS-work","seed":7}
+//	POST /v1/online    {"platform":"sophia","count":8,"process":"poisson","rate":0.25,"seed":1}
+//	POST /v1/workload  {"family":"fft","count":10,"process":"uniform","rate":0.5}
+//	GET  /v1/stats     service counters as JSON
+//	GET  /metrics      the same counters in Prometheus text format
+//	GET  /healthz      liveness probe
+//
+// A full queue answers 429 with a Retry-After hint; a request exceeding the
+// timeout answers 504. SIGINT/SIGTERM drain in-flight requests before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ptgsched"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "scheduling workers (default: GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "request queue depth (default: 64)")
+		timeout = flag.Duration("timeout", 0, "per-request timeout (default: 60s)")
+	)
+	flag.Parse()
+
+	svc := ptgsched.NewService(ptgsched.ServiceOptions{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+	})
+	eff := svc.Options()
+	fmt.Printf("ptgserve: listening on %s (%d workers, queue %d, timeout %s)\n",
+		*addr, eff.Workers, eff.QueueDepth, eff.RequestTimeout)
+
+	srv := &http.Server{Addr: *addr, Handler: ptgsched.ServiceHandler(svc)}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// The listener failed before any shutdown was requested.
+		svc.Close()
+		fatal(err)
+	case sig := <-sigCh:
+		fmt.Printf("ptgserve: %s, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "ptgserve: shutdown:", err)
+		}
+		svc.Close()
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptgserve:", err)
+	os.Exit(1)
+}

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 
 	"ptgsched"
 )
@@ -30,15 +29,15 @@ func main() {
 	)
 	flag.Parse()
 
-	pf, err := platformByName(*platformName)
+	pf, err := ptgsched.PlatformByName(*platformName)
 	if err != nil {
 		fatal(err)
 	}
-	family, err := familyByName(*familyName)
+	family, err := ptgsched.FamilyByName(*familyName)
 	if err != nil {
 		fatal(err)
 	}
-	strat, err := strategyByName(*strategyName, *mu, family)
+	strat, err := ptgsched.StrategyByName(*strategyName, *mu, family)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,63 +81,6 @@ func main() {
 		if err := ptgsched.WriteScheduleJSON(os.Stdout, res.Schedule); err != nil {
 			fatal(err)
 		}
-	}
-}
-
-func platformByName(name string) (*ptgsched.Platform, error) {
-	switch strings.ToLower(name) {
-	case "lille":
-		return ptgsched.Lille(), nil
-	case "nancy":
-		return ptgsched.Nancy(), nil
-	case "rennes":
-		return ptgsched.Rennes(), nil
-	case "sophia":
-		return ptgsched.Sophia(), nil
-	default:
-		return nil, fmt.Errorf("unknown platform %q", name)
-	}
-}
-
-func familyByName(name string) (ptgsched.PTGFamily, error) {
-	switch strings.ToLower(name) {
-	case "random":
-		return ptgsched.FamilyRandom, nil
-	case "fft":
-		return ptgsched.FamilyFFT, nil
-	case "strassen":
-		return ptgsched.FamilyStrassen, nil
-	default:
-		return 0, fmt.Errorf("unknown family %q", name)
-	}
-}
-
-func strategyByName(name string, mu float64, family ptgsched.PTGFamily) (ptgsched.Strategy, error) {
-	pick := func(c ptgsched.Characteristic) float64 {
-		if mu >= 0 {
-			return mu
-		}
-		return ptgsched.DefaultMu(c, family)
-	}
-	switch name {
-	case "S":
-		return ptgsched.S(), nil
-	case "ES":
-		return ptgsched.ES(), nil
-	case "PS-cp":
-		return ptgsched.PS(ptgsched.CriticalPath), nil
-	case "PS-width":
-		return ptgsched.PS(ptgsched.Width), nil
-	case "PS-work":
-		return ptgsched.PS(ptgsched.Work), nil
-	case "WPS-cp":
-		return ptgsched.WPS(ptgsched.CriticalPath, pick(ptgsched.CriticalPath)), nil
-	case "WPS-width":
-		return ptgsched.WPS(ptgsched.Width, pick(ptgsched.Width)), nil
-	case "WPS-work":
-		return ptgsched.WPS(ptgsched.Work, pick(ptgsched.Work)), nil
-	default:
-		return ptgsched.Strategy{}, fmt.Errorf("unknown strategy %q", name)
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 //	ptgtrace -mode generate -family random -count 10 -process poisson -rate 0.2 -out trace.json
 //	ptgtrace -mode inspect -in trace.json
-//	ptgtrace -mode replay -in trace.json -platform rennes -strategy WPS-work
+//	ptgtrace -mode replay -in trace.json -platform rennes -strategy WPS-width -family fft
 package main
 
 import (
@@ -29,7 +29,8 @@ func main() {
 		in           = flag.String("in", "", "input trace file")
 		out          = flag.String("out", "", "output trace file (default stdout)")
 		platformName = flag.String("platform", "rennes", "platform for replay")
-		strategyName = flag.String("strategy", "WPS-work", "strategy for replay: S, ES or WPS-work")
+		strategyName = flag.String("strategy", "WPS-work", "strategy for replay: S, ES, PS-{cp,width,work} or WPS-{cp,width,work}")
+		mu           = flag.Float64("mu", -1, "µ for WPS strategies on replay (default: the paper's calibrated value for -family)")
 	)
 	flag.Parse()
 
@@ -39,34 +40,20 @@ func main() {
 	case "inspect":
 		inspect(*in)
 	case "replay":
-		replay(*in, *platformName, *strategyName)
+		replay(*in, *platformName, *strategyName, *mu, *familyName)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 }
 
 func generate(familyName string, count int, processName string, rate float64, seed int64, out string) {
-	var family ptgsched.PTGFamily
-	switch strings.ToLower(familyName) {
-	case "random":
-		family = ptgsched.FamilyRandom
-	case "fft":
-		family = ptgsched.FamilyFFT
-	case "strassen":
-		family = ptgsched.FamilyStrassen
-	default:
-		fatal(fmt.Errorf("unknown family %q", familyName))
+	family, err := ptgsched.FamilyByName(familyName)
+	if err != nil {
+		fatal(err)
 	}
-	var process ptgsched.ArrivalProcess
-	switch strings.ToLower(processName) {
-	case "burst":
-		process = ptgsched.BurstArrivals
-	case "poisson":
-		process = ptgsched.PoissonArrivals
-	case "uniform":
-		process = ptgsched.UniformArrivals
-	default:
-		fatal(fmt.Errorf("unknown process %q", processName))
+	process, err := ptgsched.ProcessByName(processName)
+	if err != nil {
+		fatal(err)
 	}
 	arrivals := ptgsched.GenerateWorkload(ptgsched.WorkloadSpec{
 		Family: family, Count: count, Process: process, Rate: rate,
@@ -113,31 +100,22 @@ func inspect(in string) {
 	}
 }
 
-func replay(in, platformName, strategyName string) {
+func replay(in, platformName, strategyName string, mu float64, familyName string) {
 	arrivals := readTrace(in)
-	var pf *ptgsched.Platform
-	switch strings.ToLower(platformName) {
-	case "lille":
-		pf = ptgsched.Lille()
-	case "nancy":
-		pf = ptgsched.Nancy()
-	case "rennes":
-		pf = ptgsched.Rennes()
-	case "sophia":
-		pf = ptgsched.Sophia()
-	default:
-		fatal(fmt.Errorf("unknown platform %q", platformName))
+	pf, err := ptgsched.PlatformByName(platformName)
+	if err != nil {
+		fatal(err)
 	}
-	var strat ptgsched.Strategy
-	switch strategyName {
-	case "S":
-		strat = ptgsched.S()
-	case "ES":
-		strat = ptgsched.ES()
-	case "WPS-work":
-		strat = ptgsched.WPS(ptgsched.Work, 0.7)
-	default:
-		fatal(fmt.Errorf("unknown strategy %q (replay supports S, ES, WPS-work)", strategyName))
+	// The trace format does not record its family; -family tells the
+	// resolver which calibrated µ default applies (WPS-width differs on
+	// FFT workloads), and -mu overrides it outright.
+	family, err := ptgsched.FamilyByName(familyName)
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := ptgsched.StrategyByName(strategyName, mu, family)
+	if err != nil {
+		fatal(err)
 	}
 
 	res := ptgsched.ScheduleOnline(pf, arrivals, ptgsched.OnlineOptions{Strategy: strat})

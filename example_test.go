@@ -1,6 +1,7 @@
 package ptgsched_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -69,4 +70,81 @@ func ExampleGeneratePTG() {
 		g.Name, stats.Tasks, stats.Depth, stats.MaxWidth)
 	// Output:
 	// strassen: 25 tasks, depth 5, width 10
+}
+
+// ExampleScheduler_Schedule runs the pipeline on a generated batch and
+// inspects the per-application outcome.
+func ExampleScheduler_Schedule() {
+	pf := ptgsched.Rennes()
+	sched := ptgsched.NewScheduler(pf)
+	r := rand.New(rand.NewSource(2))
+	graphs := []*ptgsched.Graph{
+		ptgsched.StrassenPTG(r),
+		ptgsched.StrassenPTG(r),
+	}
+	res := sched.Schedule(graphs, ptgsched.PS(ptgsched.Work))
+	for i := range graphs {
+		fmt.Printf("app %d: beta %.2f, makespan %.1f s\n", i, res.Betas[i], res.Makespan(i))
+	}
+	// Output:
+	// app 0: beta 0.12, makespan 6.1 s
+	// app 1: beta 0.88, makespan 11.9 s
+}
+
+// ExampleScheduleOnline schedules applications arriving over time, with
+// the resource constraints rebalanced on each arrival and completion.
+func ExampleScheduleOnline() {
+	pf := ptgsched.NewPlatform("toy", true,
+		ptgsched.ClusterSpec{Name: "c0", Procs: 4, Speed: 1})
+	mkChain := func(name string, works ...float64) *ptgsched.Graph {
+		g := ptgsched.NewGraph(name)
+		var prev *ptgsched.Task
+		for i, w := range works {
+			t := g.AddTask(fmt.Sprintf("%s%d", name, i), 1, w, 0)
+			if prev != nil {
+				g.MustAddEdge(prev, t, 0)
+			}
+			prev = t
+		}
+		return g
+	}
+	arrivals := []ptgsched.Arrival{
+		{Graph: mkChain("a", 4, 4), At: 0},
+		{Graph: mkChain("b", 2, 2), At: 1},
+	}
+	res := ptgsched.ScheduleOnline(pf, arrivals, ptgsched.OnlineOptions{
+		Strategy: ptgsched.ES(),
+	})
+	for i, app := range res.Apps {
+		fmt.Printf("app %d: flow time %.0f s\n", i, app.FlowTime())
+	}
+	fmt.Printf("rebalances: %d\n", res.Rebalances)
+	// Output:
+	// app 0: flow time 3 s
+	// app 1: flow time 2 s
+	// rebalances: 3
+}
+
+// ExampleNewService submits a request to the concurrent scheduling
+// service — the same pipeline, multiplexed through a bounded worker pool.
+func ExampleNewService() {
+	svc := ptgsched.NewService(ptgsched.ServiceOptions{Workers: 2})
+	defer svc.Close()
+
+	resp, err := svc.Schedule(context.Background(), ptgsched.ScheduleServiceRequest{
+		Platform: "lille",
+		Family:   "strassen",
+		Count:    2,
+		Strategy: "ES",
+		Seed:     7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s on %s: %d apps, betas %.2v\n",
+		resp.Strategy, resp.Platform, resp.Count, resp.Betas)
+	fmt.Printf("makespan %.1f s\n", resp.Makespan)
+	// Output:
+	// ES on Lille: 2 apps, betas [0.5 0.5]
+	// makespan 19.0 s
 }

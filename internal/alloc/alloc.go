@@ -19,6 +19,10 @@
 //     allocations within any precedence level must not exceed β times the
 //     platform power, so that concurrent ready tasks of one level can all
 //     run inside the PTG's share.
+//
+// Concurrency: the package is stateless — Compute keeps all mutable state
+// in per-call values — but it drives the cached analyses of the dag.Graph
+// it is given, so concurrent calls are safe only on distinct graphs.
 package alloc
 
 import (

@@ -4,6 +4,10 @@
 // procedures that SCRAP generalizes. They provide context and ablation
 // points: the paper's S strategy behaves like these dedicated-platform
 // heuristics when applications compete.
+//
+// Concurrency: the schedulers keep all mutable state in per-call values;
+// like every pipeline in this module they mutate their input graph's
+// analysis caches, so concurrent calls are safe only on distinct graphs.
 package baseline
 
 import (

@@ -3,10 +3,17 @@
 // `ptgbench -experiment bench -json` harness, so both always measure the
 // same workloads. See PERFORMANCE.md for the methodology and the recorded
 // seed baseline.
+//
+// Concurrency: Suite and the case constructors are pure; each benchmark
+// case owns its workload. The throughput cases (CampaignThroughput,
+// ServiceSchedule) are themselves concurrency benchmarks and manage their
+// own goroutines.
 package benchsuite
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"ptgsched/internal/alloc"
@@ -15,6 +22,7 @@ import (
 	"ptgsched/internal/experiment"
 	"ptgsched/internal/mapping"
 	"ptgsched/internal/platform"
+	"ptgsched/internal/service"
 	"ptgsched/internal/sim"
 )
 
@@ -24,9 +32,11 @@ type Case struct {
 	Bench func(b *testing.B)
 }
 
-// Suite returns the regression suite: the paper-figure pipeline benchmarks
-// plus the two scale microbenchmarks (mapping at 10k tasks, fair sharing
-// at 1000 flows).
+// Suite returns the regression suite: the paper-figure pipeline benchmarks,
+// the two scale microbenchmarks (mapping at 10k tasks, fair sharing at 1000
+// flows), and the concurrent-throughput pair (the same figure campaign at 1
+// and 8 workers — their ns/op ratio is the parallel-speedup number frozen
+// in BENCH_mapping.json) plus the service throughput benchmark.
 func Suite() []Case {
 	return []Case{
 		{"Fig2MuSweepWPSWork", func(b *testing.B) { Campaign(b, experiment.Fig2Config(42, 1)) }},
@@ -35,8 +45,19 @@ func Suite() []Case {
 		{"Fig5StrassenPTGs", func(b *testing.B) { Campaign(b, experiment.Fig5Config(42, 1)) }},
 		{"MapLarge", MapLarge},
 		{"FairShare1000Flows", FairShare1000Flows},
+		{CampaignWorkers1, func(b *testing.B) { CampaignThroughput(b, 1) }},
+		{CampaignWorkers8, func(b *testing.B) { CampaignThroughput(b, 8) }},
+		{ServiceThroughput8, func(b *testing.B) { ServiceSchedule(b, 8) }},
 	}
 }
+
+// Names of the concurrency benchmarks, shared with the ptgbench report so
+// the speedup derivation cannot drift from the suite definition.
+const (
+	CampaignWorkers1   = "Fig3Campaign1Worker"
+	CampaignWorkers8   = "Fig3Campaign8Workers"
+	ServiceThroughput8 = "ServiceSchedule8Clients"
+)
 
 // Campaign shrinks a figure config to benchmark size and measures the cost
 // of the complete pipeline that produces the figure.
@@ -52,6 +73,67 @@ func Campaign(b *testing.B, cfg experiment.Config) {
 		res := experiment.Run(cfg)
 		if len(res.Points) != 3 {
 			b.Fatal("campaign lost points")
+		}
+	}
+}
+
+// CampaignThroughput measures the Fig. 3 campaign fanned out over the
+// given number of workers: the full 8-strategy pipeline at every point, 2
+// combinations × all 4 Grid'5000 sites × 3 PTG counts = 24 runs per
+// iteration. The ratio between the 1-worker and 8-worker variants is the
+// concurrent-throughput speedup recorded in BENCH_mapping.json; the
+// campaign is embarrassingly parallel, so it tracks min(8, GOMAXPROCS) on
+// an otherwise idle machine.
+func CampaignThroughput(b *testing.B, workers int) {
+	b.Helper()
+	cfg := experiment.Fig3Config(42, 2)
+	cfg.NPTGs = []int{2, 6, 10}
+	cfg.Workers = workers
+	cfg = cfg.Defaults()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiment.Run(cfg)
+		if len(res.Points) != 3 {
+			b.Fatal("campaign lost points")
+		}
+	}
+}
+
+// ServiceSchedule measures the scheduling service end to end: per
+// iteration, `clients` concurrent goroutines each submit one deterministic
+// schedule request through the bounded worker pool.
+func ServiceSchedule(b *testing.B, clients int) {
+	b.Helper()
+	svc := service.New(service.Options{Workers: clients, QueueDepth: 2 * clients})
+	defer svc.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := svc.Schedule(ctx, service.ScheduleRequest{
+					Platform: "rennes",
+					Family:   "random",
+					Count:    4,
+					Strategy: "WPS-work",
+					Seed:     int64(c + 1),
+				})
+				if err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
 		}
 	}
 }

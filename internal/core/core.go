@@ -6,6 +6,13 @@
 // It also provides the dedicated-platform scheduling used to measure
 // M_own(a), the makespan an application achieves with the resources on its
 // own — the numerator of the slowdown metric (Eq. 3).
+//
+// Concurrency: a Scheduler is a small immutable configuration over an
+// immutable Platform; Schedule keeps all mutable state in per-call values
+// but drives the cached analyses of its input graphs. Distinct Scheduler
+// values (or one value with distinct graph batches) may therefore run
+// concurrently — the contract the service and experiment layers build on.
+// One batch's graphs must not be scheduled from two goroutines at once.
 package core
 
 import (

@@ -1,6 +1,9 @@
 // Package cost implements the task cost models of §2 of the paper:
 // computational complexity classes for data-parallel tasks, the Amdahl
 // parallel-speedup model, and the data-volume rule for edges.
+//
+// Concurrency: the package consists of pure functions over immutable
+// inputs and is safe for unrestricted concurrent use.
 package cost
 
 import (

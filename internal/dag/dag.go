@@ -4,6 +4,12 @@
 //
 // The package is purely structural: task durations on a given platform are
 // provided by the cost package; scheduling lives in alloc, mapping and core.
+//
+// Concurrency: a Graph confines its cached analyses (and their shared
+// scratch buffers) to one goroutine at a time — see the Graph doc comment.
+// Distinct graphs are fully independent; every scheduling pipeline in this
+// module generates or owns its graphs privately, which is what lets the
+// service and experiment layers parallelize over shared platforms.
 package dag
 
 import (

@@ -4,6 +4,10 @@
 // matrix-multiplication PTGs.
 //
 // All generators are deterministic given a *rand.Rand source.
+//
+// Concurrency: generators are pure given their *rand.Rand (which is not
+// safe for concurrent use); each concurrent caller must bring its own
+// source, as the experiment and service layers do.
 package daggen
 
 import (

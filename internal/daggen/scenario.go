@@ -1,7 +1,9 @@
 package daggen
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"ptgsched/internal/dag"
 )
@@ -52,6 +54,22 @@ func (f Family) String() string {
 		return "strassen"
 	default:
 		return "unknown"
+	}
+}
+
+// FamilyByName parses a family name ("random", "fft" or "strassen", case
+// insensitive). It is the shared resolver behind the CLIs and the
+// scheduling service.
+func FamilyByName(name string) (Family, error) {
+	switch strings.ToLower(name) {
+	case "random":
+		return FamilyRandom, nil
+	case "fft":
+		return FamilyFFT, nil
+	case "strassen":
+		return FamilyStrassen, nil
+	default:
+		return 0, fmt.Errorf("daggen: unknown family %q (want random, fft or strassen)", name)
 	}
 }
 

@@ -3,6 +3,15 @@
 // combinations, schedule each combination on the four Grid'5000 platforms
 // (= 100 runs per point) under every strategy, simulate the executions, and
 // aggregate unfairness, average makespan and average relative makespan.
+//
+// Concurrency: Run fans the campaign's runs out over a fixed pool of
+// Config.Workers goroutines (default GOMAXPROCS); Workers ≤ 1 runs inline
+// on the calling goroutine. Results are bit-identical at every worker
+// count: each run derives its scenario from a deterministic seed (runSeed),
+// writes only its own output slot, and the aggregation pass reduces those
+// slots in a fixed order, so no floating-point operation depends on
+// execution interleaving. Runs share only immutable state (platforms,
+// strategy values); every dag.Graph is generated privately per run.
 package experiment
 
 import (
@@ -38,7 +47,9 @@ type Config struct {
 	Labels     []string
 	// Seed makes the campaign deterministic.
 	Seed int64
-	// Workers bounds the number of concurrent runs; default NumCPU.
+	// Workers is the number of goroutines runs are fanned out over;
+	// default GOMAXPROCS. 1 (or negative) runs the campaign sequentially
+	// on the calling goroutine. Results are identical for any value.
 	Workers int
 }
 
@@ -66,7 +77,7 @@ func (cfg Config) Defaults() Config {
 		panic("experiment: Labels not aligned with Strategies")
 	}
 	if cfg.Workers == 0 {
-		cfg.Workers = runtime.NumCPU()
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	return cfg
 }
@@ -127,19 +138,36 @@ func Run(cfg Config) *Result {
 	}
 
 	outs := make([]runOut, len(keys))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i, key := range keys {
-		i, key := i, key
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
+	if cfg.Workers <= 1 {
+		// Sequential reference path: no goroutines at all.
+		for i, key := range keys {
 			outs[i] = oneRun(cfg, key)
-		}()
+		}
+	} else {
+		// Fixed worker pool over an index feed. Each worker writes only
+		// outs[i] for the indices it consumes; the deterministic per-run
+		// seeding makes the fan-out invisible in the results.
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		workers := cfg.Workers
+		if workers > len(keys) {
+			workers = len(keys)
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					outs[i] = oneRun(cfg, keys[i])
+				}
+			}()
+		}
+		for i := range keys {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	wg.Wait()
 
 	res := &Result{Config: cfg}
 	ns := len(cfg.Strategies)

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/platform"
+)
+
+// parallelTestConfig is a reduced campaign that still exercises multiple
+// points, reps and platforms — enough keys (2×2×2 = 8 runs) to force real
+// interleaving at 8 workers.
+func parallelTestConfig() Config {
+	return Config{
+		Family:    daggen.FamilyStrassen,
+		NPTGs:     []int{2, 4},
+		Reps:      2,
+		Platforms: []*platform.Platform{platform.Rennes(), platform.Nancy()},
+		Seed:      17,
+	}
+}
+
+// TestRunParallelMatchesSequential is the acceptance test for the parallel
+// campaign engine: fanning the runs out over workers must leave every
+// aggregated figure value bit-identical to the sequential runner — not
+// approximately equal, identical, because neither the per-run seeds nor
+// the aggregation order depend on the interleaving.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	seq := parallelTestConfig()
+	seq.Workers = 1
+	want := Run(seq)
+
+	for _, workers := range []int{2, 8, 16} {
+		cfg := parallelTestConfig()
+		cfg.Workers = workers
+		got := Run(cfg)
+		if !reflect.DeepEqual(want.Points, got.Points) {
+			t.Errorf("Workers=%d diverges from the sequential runner:\nseq: %+v\npar: %+v",
+				workers, want.Points, got.Points)
+		}
+	}
+}
+
+// TestRunParallelRepeatable re-runs the same parallel campaign twice: the
+// fan-out must also be reproducible against itself.
+func TestRunParallelRepeatable(t *testing.T) {
+	cfg := parallelTestConfig()
+	cfg.Workers = 8
+	a := Run(cfg)
+	b := Run(cfg)
+	if !reflect.DeepEqual(a.Points, b.Points) {
+		t.Fatal("two identical parallel campaigns diverged")
+	}
+}
+
+// TestWorkersDefaultsToGOMAXPROCS pins the documented default.
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	cfg := Config{}.Defaults()
+	if cfg.Workers < 1 {
+		t.Fatalf("default workers = %d", cfg.Workers)
+	}
+}

@@ -9,6 +9,12 @@
 // processors, its allocation is shrunk iff it then starts earlier and
 // finishes no later. A global-ordering variant (the classical approach the
 // paper argues against, Fig. 1) is provided for comparison.
+//
+// Concurrency: Map keeps the whole mapper state in per-call values and
+// only reads the platform, so independent Map calls run concurrently; the
+// input allocations' graphs carry cached analyses, so two concurrent calls
+// must not share graphs. A returned Schedule is mutable (Add) and must be
+// confined or frozen before sharing.
 package mapping
 
 import (

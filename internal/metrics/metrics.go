@@ -2,6 +2,9 @@
 // unfairness, built on per-application slowdowns (Eq. 3–5), and the average
 // relative makespan protocol, plus small summary-statistics helpers used by
 // the experiment harness.
+//
+// Concurrency: pure functions over slices the caller owns; safe for
+// unrestricted concurrent use.
 package metrics
 
 import (

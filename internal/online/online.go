@@ -15,6 +15,11 @@
 // law, contention-free redistribution estimates); network contention
 // replay, as simexec does offline, is orthogonal to the policy decisions
 // studied here.
+//
+// Concurrency: Schedule keeps the whole driver state in per-call values
+// and mutates the arrival graphs' analysis caches; concurrent calls are
+// safe on disjoint arrival sets (the service layer generates a private
+// workload per request).
 package online
 
 import (

@@ -1,5 +1,10 @@
 package platform
 
+import (
+	"fmt"
+	"strings"
+)
+
 // This file encodes Table 1 of the paper: the four multi-cluster subsets of
 // Grid'5000 used throughout the evaluation. Cluster names, processor counts
 // and per-processor speeds (GFlop/s) are reproduced verbatim. Rennes and
@@ -49,4 +54,22 @@ func Sophia() *Platform {
 // the paper's order: Lille, Nancy, Rennes, Sophia.
 func Grid5000Sites() []*Platform {
 	return []*Platform{Lille(), Nancy(), Rennes(), Sophia()}
+}
+
+// ByName returns a fresh instance of the named Grid'5000 preset (case
+// insensitive: "lille", "nancy", "rennes" or "sophia"). It is the shared
+// resolver behind the CLIs and the scheduling service.
+func ByName(name string) (*Platform, error) {
+	switch strings.ToLower(name) {
+	case "lille":
+		return Lille(), nil
+	case "nancy":
+		return Nancy(), nil
+	case "rennes":
+		return Rennes(), nil
+	case "sophia":
+		return Sophia(), nil
+	default:
+		return nil, fmt.Errorf("platform: unknown platform %q (want lille, nancy, rennes or sophia)", name)
+	}
 }

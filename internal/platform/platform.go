@@ -5,6 +5,11 @@
 //
 // The concrete platforms used in the paper's evaluation (four multi-cluster
 // subsets of Grid'5000, Table 1 of the paper) are provided as presets.
+//
+// Concurrency: a Platform and its Clusters and Links are immutable after
+// New (the presets return fresh instances per call) and safe to share
+// read-only across any number of concurrent scheduling runs — the
+// foundation of the service and experiment fan-outs.
 package platform
 
 import (

@@ -1,0 +1,14 @@
+package service
+
+import "context"
+
+// SubmitTestJob enqueues a job that blocks until release is closed. It lets
+// tests saturate the worker pool and queue deterministically, without
+// depending on how fast the real pipeline runs.
+func (s *Service) SubmitTestJob(ctx context.Context, release <-chan struct{}) error {
+	_, err := s.submit(ctx, "schedule", func() (any, error) {
+		<-release
+		return &ScheduleResponse{}, nil
+	})
+	return err
+}

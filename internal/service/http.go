@@ -1,0 +1,162 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Handler exposes a Service over HTTP+JSON, the wire surface of the
+// ptgserve command:
+//
+//	POST /v1/schedule  — ScheduleRequest  → ScheduleResponse
+//	POST /v1/online    — OnlineRequest    → OnlineResponse
+//	POST /v1/workload  — WorkloadRequest  → WorkloadResponse
+//	GET  /v1/stats     — Stats snapshot as JSON
+//	GET  /metrics      — the same counters in Prometheus text format
+//	GET  /healthz      — liveness probe
+//
+// Error mapping: validation failures → 400, a full queue → 429 with a
+// Retry-After hint, a request timeout → 504, a closed service → 503, and a
+// pipeline failure → 500. The handler is safe for concurrent use, like the
+// Service beneath it.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+		var req ScheduleRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		respond(w, func(ctx context.Context) (any, error) { return s.Schedule(ctx, req) }, r)
+	})
+	mux.HandleFunc("POST /v1/online", func(w http.ResponseWriter, r *http.Request) {
+		var req OnlineRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		respond(w, func(ctx context.Context) (any, error) { return s.Online(ctx, req) }, r)
+	})
+	mux.HandleFunc("POST /v1/workload", func(w http.ResponseWriter, r *http.Request) {
+		var req WorkloadRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		respond(w, func(ctx context.Context) (any, error) { return s.Workload(ctx, req) }, r)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// decode parses the JSON body into req, rejecting unknown fields so typos
+// in request payloads fail loudly instead of silently using defaults.
+func decode(w http.ResponseWriter, r *http.Request, req any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// respond runs the request against the service and writes the outcome.
+func respond(w http.ResponseWriter, run func(context.Context) (any, error), r *http.Request) {
+	resp, err := run(r.Context())
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is moot but 499-style
+			// semantics map best onto 408 here.
+			status = http.StatusRequestTimeout
+		case errors.As(err, new(*ValidationError)):
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeMetrics renders the stats snapshot in Prometheus text exposition
+// format, counter names prefixed ptgserve_.
+func writeMetrics(w http.ResponseWriter, st Stats) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	type metric struct {
+		name, help string
+		value      float64
+	}
+	ms := []metric{
+		{"ptgserve_requests_accepted_total", "Requests that obtained a queue slot.", float64(st.Accepted)},
+		{"ptgserve_requests_rejected_total", "Requests refused by a full queue or closed service.", float64(st.Rejected)},
+		{"ptgserve_requests_invalid_total", "Requests failing validation.", float64(st.Invalid)},
+		{"ptgserve_requests_completed_total", "Requests executed successfully.", float64(st.Completed)},
+		{"ptgserve_requests_failed_total", "Requests whose execution failed.", float64(st.Failed)},
+		{"ptgserve_requests_expired_total", "Requests abandoned by their clients.", float64(st.Expired)},
+		{"ptgserve_requests_in_flight", "Requests currently executing.", float64(st.InFlight)},
+		{"ptgserve_queue_length", "Requests waiting for a worker.", float64(st.Queued)},
+		{"ptgserve_queue_depth", "Configured queue capacity.", float64(st.QueueDepth)},
+		{"ptgserve_workers", "Configured worker count.", float64(st.Workers)},
+		{"ptgserve_busy_seconds_total", "Cumulative worker execution time.", st.BusySeconds},
+		{"ptgserve_uptime_seconds", "Seconds since the service started.", st.UptimeSeconds},
+	}
+	for _, m := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, metricType(m.name))
+		fmt.Fprintf(w, "%s %g\n", m.name, m.value)
+	}
+	kinds := make([]string, 0, len(st.CompletedByKind))
+	for k := range st.CompletedByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintln(w, "# HELP ptgserve_requests_completed_by_kind_total Completed requests per request kind.")
+	fmt.Fprintln(w, "# TYPE ptgserve_requests_completed_by_kind_total counter")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "ptgserve_requests_completed_by_kind_total{kind=%q} %g\n", k, float64(st.CompletedByKind[k]))
+	}
+}
+
+// metricType classifies a metric name for the TYPE annotation.
+func metricType(name string) string {
+	if len(name) > 6 && name[len(name)-6:] == "_total" {
+		return "counter"
+	}
+	return "gauge"
+}

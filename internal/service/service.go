@@ -1,0 +1,718 @@
+// Package service turns the per-batch scheduling pipeline into a concurrent
+// scheduling service: many client sessions are multiplexed through one
+// shared server core, the architecture the ROADMAP's production target
+// calls for. Requests — offline batch scheduling, online dynamic-arrival
+// scheduling, and workload generation — are queued onto a bounded worker
+// pool; each worker executes one request at a time on a private Scheduler
+// instance over shared read-only platform state.
+//
+// Concurrency: the Service is safe for use by any number of goroutines.
+// The safety argument mirrors how the rest of the module is built: a
+// platform.Platform and its sim.Links are immutable after construction, the
+// strategy/alloc/mapping/simexec pipeline keeps all mutable state in
+// per-call values, and the only caching mutable structure — dag.Graph's
+// analysis caches — is confined to graphs generated privately per request.
+// Nothing is shared between two in-flight requests except immutable
+// platforms, so requests never contend on scheduling state, only on the
+// queue and the stats counters.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptgsched/internal/core"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/online"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/strategy"
+	"ptgsched/internal/trace"
+	"ptgsched/internal/workload"
+)
+
+// Service errors. The HTTP layer maps them onto status codes (429, 503).
+var (
+	// ErrQueueFull is returned when the bounded request queue is at
+	// capacity; the client should back off and retry.
+	ErrQueueFull = errors.New("service: request queue full")
+	// ErrClosed is returned for requests submitted after Close.
+	ErrClosed = errors.New("service: closed")
+)
+
+// ValidationError wraps a request-resolution failure (unknown platform or
+// strategy name, out-of-range parameter). The HTTP layer maps it to 400.
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying resolution error to errors.Is/As.
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// invalidf marks err as a validation failure and counts it.
+func (s *Service) invalid(err error) error {
+	s.stats.invalid.Add(1)
+	return &ValidationError{Err: err}
+}
+
+// Options configures a Service. The zero value is production-reasonable:
+// one worker per GOMAXPROCS, a 64-request queue, a 60-second per-request
+// timeout.
+type Options struct {
+	// Workers is the number of scheduling workers; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of requests waiting for a worker;
+	// default 64. Submissions beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// RequestTimeout caps the time a request may spend queued plus
+	// executing; default 60s. Zero or negative values use the default; use
+	// NoTimeout to disable.
+	RequestTimeout time.Duration
+	// NoTimeout disables the per-request timeout (contexts passed by the
+	// caller still apply).
+	NoTimeout bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Service is a concurrent scheduling service: a bounded queue feeding a
+// fixed pool of workers, each running the full paper pipeline per request.
+// Create one with New and release it with Close.
+type Service struct {
+	opts  Options
+	queue chan *job
+	wg    sync.WaitGroup
+	start time.Time
+
+	mu     sync.Mutex // guards closed and the queue send vs Close
+	closed bool
+
+	stats counters
+}
+
+// job is one queued request.
+type job struct {
+	ctx      context.Context
+	kind     string
+	enqueued time.Time
+	run      func() (any, error)
+	done     chan outcome
+	// settled arbitrates the accounting between the worker and the
+	// submitter: whoever swaps it first counts the job's fate, so
+	// Completed + Failed + Expired partitions Accepted exactly even when a
+	// result and a deadline race.
+	settled atomic.Bool
+}
+
+// settle reports whether the caller won the right to account for the job.
+func (j *job) settle() bool { return j.settled.CompareAndSwap(false, true) }
+
+type outcome struct {
+	resp any
+	err  error
+}
+
+// New starts a service with opts defaults applied.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:  opts,
+		queue: make(chan *job, opts.QueueDepth),
+		start: time.Now(),
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Options returns the effective (defaulted) options the service runs with.
+func (s *Service) Options() Options { return s.opts }
+
+// Close stops accepting requests, waits for queued and in-flight requests
+// to finish, and releases the workers. It is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if err := j.ctx.Err(); err != nil {
+			// The client gave up while the job was queued; don't burn a
+			// worker on an answer nobody reads.
+			if j.settle() {
+				s.stats.expired.Add(1)
+			}
+			j.done <- outcome{err: err}
+			continue
+		}
+		s.stats.inFlight.Add(1)
+		started := time.Now()
+		resp, err := runSafely(j.run)
+		elapsed := time.Since(started)
+		s.stats.inFlight.Add(-1)
+		s.stats.busyNanos.Add(elapsed.Nanoseconds())
+		s.stats.queueWaitNanos.Add(started.Sub(j.enqueued).Nanoseconds())
+		if j.settle() {
+			if err != nil {
+				s.stats.failed.Add(1)
+			} else {
+				s.stats.completed.Add(1)
+				s.stats.byKind(j.kind).Add(1)
+			}
+		}
+		j.done <- outcome{resp: resp, err: err}
+	}
+}
+
+// runSafely converts a panic in the pipeline (e.g. a degenerate generated
+// scenario) into an error, so one bad request cannot take down a worker.
+func runSafely(run func() (any, error)) (resp any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: request panicked: %v", r)
+		}
+	}()
+	return run()
+}
+
+// submit enqueues a validated request and waits for its outcome or the
+// context. Requests abandoned at a timeout keep their queue slot until a
+// worker pops and discards them.
+func (s *Service) submit(ctx context.Context, kind string, run func() (any, error)) (any, error) {
+	if !s.opts.NoTimeout {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	j := &job{ctx: ctx, kind: kind, enqueued: time.Now(), run: run, done: make(chan outcome, 1)}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+		s.stats.accepted.Add(1)
+	default:
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case out := <-j.done:
+		// Enforce the deadline strictly even when the result arrives in
+		// the same scheduling instant: a timed-out request reports the
+		// timeout, not a lucky result. The worker already settled the
+		// accounting for an execution that finished, so this path adds no
+		// second count.
+		if err := ctx.Err(); err != nil {
+			if j.settle() {
+				s.stats.expired.Add(1)
+			}
+			return nil, err
+		}
+		return out.resp, out.err
+	case <-ctx.Done():
+		if j.settle() {
+			s.stats.expired.Add(1)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// ScheduleRequest describes one offline batch-scheduling request: generate
+// Count PTGs of Family with Seed, schedule them on Platform under Strategy,
+// and simulate the execution. All fields are JSON-friendly so the request
+// can travel over the ptgserve wire format unchanged.
+type ScheduleRequest struct {
+	// Platform names a Grid'5000 preset: lille, nancy, rennes (default) or
+	// sophia.
+	Platform string `json:"platform,omitempty"`
+	// Family is the PTG family: random (default), fft or strassen.
+	Family string `json:"family,omitempty"`
+	// Count is the number of concurrently-submitted PTGs; default 4.
+	Count int `json:"count,omitempty"`
+	// Strategy is the paper name of the constraint strategy; default
+	// "WPS-work".
+	Strategy string `json:"strategy,omitempty"`
+	// Mu overrides the paper's calibrated µ for WPS strategies; nil keeps
+	// the default.
+	Mu *float64 `json:"mu,omitempty"`
+	// Seed makes the generated scenario deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// Ordering selects the mapping ordering: "" or "ready" (the paper's),
+	// or "global" (the Fig. 1 counterexample).
+	Ordering string `json:"ordering,omitempty"`
+	// NoPacking disables allocation packing.
+	NoPacking bool `json:"no_packing,omitempty"`
+	// ComputeOwn additionally schedules each PTG alone to report slowdowns
+	// and unfairness (Eq. 3–5); it costs Count extra pipeline runs.
+	ComputeOwn bool `json:"compute_own,omitempty"`
+}
+
+// ScheduleResponse reports one scheduled batch.
+type ScheduleResponse struct {
+	Platform string `json:"platform"`
+	Strategy string `json:"strategy"`
+	Count    int    `json:"count"`
+	// Betas are the per-application resource constraints.
+	Betas []float64 `json:"betas"`
+	// AppMakespans are simulated per-application completion times (s).
+	AppMakespans []float64 `json:"app_makespans"`
+	// Makespan is the simulated completion time of the whole batch (s).
+	Makespan float64 `json:"makespan"`
+	// Slowdowns and Unfairness are only set when ComputeOwn was requested.
+	Slowdowns  []float64 `json:"slowdowns,omitempty"`
+	Unfairness *float64  `json:"unfairness,omitempty"`
+	// Summary aggregates utilization/efficiency statistics.
+	Summary trace.Summary `json:"summary"`
+	// Utilization lists per-cluster busy fractions.
+	Utilization []trace.ClusterUtilization `json:"utilization"`
+	// ElapsedMS is the worker-side execution time in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// scheduleScenario is a ScheduleRequest resolved against the registries.
+type scheduleScenario struct {
+	pf     *platform.Platform
+	family daggen.Family
+	strat  strategy.Strategy
+	count  int
+	opts   mapping.Options
+}
+
+// resolve validates the request and resolves names; it runs on the caller's
+// goroutine so malformed requests fail fast without a queue slot.
+func (r ScheduleRequest) resolve() (scheduleScenario, error) {
+	var sc scheduleScenario
+	name := r.Platform
+	if name == "" {
+		name = "rennes"
+	}
+	pf, err := platform.ByName(name)
+	if err != nil {
+		return sc, err
+	}
+	famName := r.Family
+	if famName == "" {
+		famName = "random"
+	}
+	fam, err := daggen.FamilyByName(famName)
+	if err != nil {
+		return sc, err
+	}
+	stratName := r.Strategy
+	if stratName == "" {
+		stratName = "WPS-work"
+	}
+	mu := -1.0
+	if r.Mu != nil {
+		mu = *r.Mu
+	}
+	strat, err := strategy.ByName(stratName, mu, fam)
+	if err != nil {
+		return sc, err
+	}
+	count := r.Count
+	if count == 0 {
+		count = 4
+	}
+	if count < 1 || count > 64 {
+		return sc, fmt.Errorf("service: count %d outside [1,64]", count)
+	}
+	var opts mapping.Options
+	switch r.Ordering {
+	case "", "ready":
+	case "global":
+		opts.Ordering = mapping.Global
+	default:
+		return sc, fmt.Errorf("service: unknown ordering %q (want ready or global)", r.Ordering)
+	}
+	opts.NoPacking = r.NoPacking
+	sc = scheduleScenario{pf: pf, family: fam, strat: strat, count: count, opts: opts}
+	return sc, nil
+}
+
+// Schedule runs one offline batch-scheduling request through the worker
+// pool. It is safe for concurrent use.
+func (s *Service) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
+	sc, err := req.resolve()
+	if err != nil {
+		return nil, s.invalid(err)
+	}
+	resp, err := s.submit(ctx, "schedule", func() (any, error) {
+		started := time.Now()
+		r := rand.New(rand.NewSource(req.Seed))
+		graphs := make([]*dag.Graph, sc.count)
+		for i := range graphs {
+			graphs[i] = daggen.Generate(sc.family, r)
+		}
+		sched := core.New(sc.pf)
+		sched.MapOptions = sc.opts
+
+		var own []float64
+		if req.ComputeOwn {
+			own = make([]float64, len(graphs))
+			for i, g := range graphs {
+				own[i] = sched.ScheduleAlone(g)
+			}
+		}
+		res := sched.Schedule(graphs, sc.strat)
+		out := &ScheduleResponse{
+			Platform:     sc.pf.Name,
+			Strategy:     sc.strat.Name(),
+			Count:        sc.count,
+			Betas:        res.Betas,
+			AppMakespans: res.Exec.AppMakespans,
+			Makespan:     res.GlobalMakespan(),
+			Summary:      trace.Summarize(res.Schedule),
+			Utilization:  trace.Utilization(res.Schedule),
+		}
+		if own != nil {
+			ev := res.Evaluate(own)
+			out.Slowdowns = ev.Slowdowns
+			unf := ev.Unfairness
+			out.Unfairness = &unf
+		}
+		out.ElapsedMS = float64(time.Since(started).Microseconds()) / 1e3
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*ScheduleResponse), nil
+}
+
+// OnlineRequest describes one online (dynamic-arrivals) scheduling request:
+// generate a workload of Count PTGs arriving by Process and schedule it with
+// the §8 online rebalancing scheduler.
+type OnlineRequest struct {
+	Platform string `json:"platform,omitempty"`
+	Family   string `json:"family,omitempty"`
+	// Count is the number of applications; default 4.
+	Count int `json:"count,omitempty"`
+	// Process is the arrival process: burst, poisson (default) or uniform.
+	Process string `json:"process,omitempty"`
+	// Rate is the arrival rate in applications/second; default 0.25.
+	Rate     float64  `json:"rate,omitempty"`
+	Strategy string   `json:"strategy,omitempty"`
+	Mu       *float64 `json:"mu,omitempty"`
+	Seed     int64    `json:"seed,omitempty"`
+	// NoRebalanceOnCompletion keeps constraints until the next arrival.
+	NoRebalanceOnCompletion bool `json:"no_rebalance_on_completion,omitempty"`
+}
+
+// OnlineResponse reports one online run.
+type OnlineResponse struct {
+	Platform string `json:"platform"`
+	Strategy string `json:"strategy"`
+	Count    int    `json:"count"`
+	// Makespan is the completion time of the last application (s).
+	Makespan float64 `json:"makespan"`
+	// FlowTimes are per-application sojourn times (s), in arrival order.
+	FlowTimes []float64 `json:"flow_times"`
+	// MeanFlowTime averages FlowTimes.
+	MeanFlowTime float64 `json:"mean_flow_time"`
+	// Rebalances counts constraint recomputations.
+	Rebalances int     `json:"rebalances"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// Online runs one dynamic-arrivals request through the worker pool. It is
+// safe for concurrent use.
+func (s *Service) Online(ctx context.Context, req OnlineRequest) (*OnlineResponse, error) {
+	spec, pf, strat, err := req.resolve()
+	if err != nil {
+		return nil, s.invalid(err)
+	}
+	resp, err := s.submit(ctx, "online", func() (any, error) {
+		started := time.Now()
+		r := rand.New(rand.NewSource(req.Seed))
+		arrivals := workload.Generate(spec, r)
+		res := online.Schedule(pf, arrivals, online.Options{
+			Strategy:                strat,
+			NoRebalanceOnCompletion: req.NoRebalanceOnCompletion,
+		})
+		out := &OnlineResponse{
+			Platform:   pf.Name,
+			Strategy:   strat.Name(),
+			Count:      spec.Count,
+			Makespan:   res.Makespan,
+			FlowTimes:  make([]float64, len(res.Apps)),
+			Rebalances: res.Rebalances,
+		}
+		for i, app := range res.Apps {
+			out.FlowTimes[i] = app.FlowTime()
+			out.MeanFlowTime += app.FlowTime()
+		}
+		if len(res.Apps) > 0 {
+			out.MeanFlowTime /= float64(len(res.Apps))
+		}
+		out.ElapsedMS = float64(time.Since(started).Microseconds()) / 1e3
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*OnlineResponse), nil
+}
+
+// resolveSpec validates the workload fields shared by the online and
+// workload requests; empty strings and zero values take the defaults
+// (random family, poisson at 0.25/s, 4 applications).
+func resolveSpec(family string, count int, process string, rate float64) (workload.Spec, error) {
+	var spec workload.Spec
+	if family == "" {
+		family = "random"
+	}
+	fam, err := daggen.FamilyByName(family)
+	if err != nil {
+		return spec, err
+	}
+	if process == "" {
+		process = "poisson"
+	}
+	proc, err := workload.ProcessByName(process)
+	if err != nil {
+		return spec, err
+	}
+	if count == 0 {
+		count = 4
+	}
+	if count < 1 || count > 64 {
+		return spec, fmt.Errorf("service: count %d outside [1,64]", count)
+	}
+	if rate == 0 {
+		rate = 0.25
+	}
+	if proc != workload.Burst && rate <= 0 {
+		return spec, fmt.Errorf("service: rate %g must be positive for a timed process", rate)
+	}
+	return workload.Spec{Family: fam, Count: count, Process: proc, Rate: rate}, nil
+}
+
+// resolve validates an OnlineRequest.
+func (r OnlineRequest) resolve() (workload.Spec, *platform.Platform, strategy.Strategy, error) {
+	spec, err := resolveSpec(r.Family, r.Count, r.Process, r.Rate)
+	if err != nil {
+		return spec, nil, strategy.Strategy{}, err
+	}
+	name := r.Platform
+	if name == "" {
+		name = "rennes"
+	}
+	pf, err := platform.ByName(name)
+	if err != nil {
+		return spec, nil, strategy.Strategy{}, err
+	}
+	stratName := r.Strategy
+	if stratName == "" {
+		stratName = "WPS-work"
+	}
+	mu := -1.0
+	if r.Mu != nil {
+		mu = *r.Mu
+	}
+	strat, err := strategy.ByName(stratName, mu, spec.Family)
+	if err != nil {
+		return spec, nil, strategy.Strategy{}, err
+	}
+	return spec, pf, strat, nil
+}
+
+// WorkloadRequest describes one workload-generation request: draw a
+// submission workload and report per-application structure, without
+// scheduling it.
+type WorkloadRequest struct {
+	Family  string  `json:"family,omitempty"`
+	Count   int     `json:"count,omitempty"`
+	Process string  `json:"process,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// WorkloadApp summarizes one generated application.
+type WorkloadApp struct {
+	At        float64 `json:"at"`
+	Name      string  `json:"name"`
+	Tasks     int     `json:"tasks"`
+	Edges     int     `json:"edges"`
+	Depth     int     `json:"depth"`
+	Width     int     `json:"width"`
+	WorkGFlop float64 `json:"work_gflop"`
+}
+
+// WorkloadResponse reports one generated workload.
+type WorkloadResponse struct {
+	Apps []WorkloadApp `json:"apps"`
+	// Span is the time of the last arrival (s).
+	Span      float64 `json:"span"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Workload runs one workload-generation request through the worker pool.
+// It is safe for concurrent use.
+func (s *Service) Workload(ctx context.Context, req WorkloadRequest) (*WorkloadResponse, error) {
+	spec, err := resolveSpec(req.Family, req.Count, req.Process, req.Rate)
+	if err != nil {
+		return nil, s.invalid(err)
+	}
+	resp, err := s.submit(ctx, "workload", func() (any, error) {
+		started := time.Now()
+		r := rand.New(rand.NewSource(req.Seed))
+		arrivals := workload.Generate(spec, r)
+		out := &WorkloadResponse{Apps: make([]WorkloadApp, len(arrivals))}
+		for i, a := range arrivals {
+			st := a.Graph.ComputeStats()
+			out.Apps[i] = WorkloadApp{
+				At:        a.At,
+				Name:      a.Graph.Name,
+				Tasks:     st.Tasks,
+				Edges:     st.Edges,
+				Depth:     st.Depth,
+				Width:     st.MaxWidth,
+				WorkGFlop: st.TotalWorkG,
+			}
+			if a.At > out.Span {
+				out.Span = a.At
+			}
+		}
+		out.ElapsedMS = float64(time.Since(started).Microseconds()) / 1e3
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*WorkloadResponse), nil
+}
+
+// counters is the service's internal atomic instrumentation.
+type counters struct {
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	invalid   atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	expired   atomic.Uint64
+	inFlight  atomic.Int64
+
+	busyNanos      atomic.Int64
+	queueWaitNanos atomic.Int64
+
+	schedule atomic.Uint64
+	online   atomic.Uint64
+	workload atomic.Uint64
+}
+
+// byKind maps a request kind to its completion counter.
+func (c *counters) byKind(kind string) *atomic.Uint64 {
+	switch kind {
+	case "schedule":
+		return &c.schedule
+	case "online":
+		return &c.online
+	case "workload":
+		return &c.workload
+	default:
+		panic(fmt.Sprintf("service: unknown request kind %q", kind))
+	}
+}
+
+// Stats is a point-in-time snapshot of the service's instrumentation, the
+// payload of ptgserve's /v1/stats endpoint (and, reformatted, /metrics).
+type Stats struct {
+	// Workers and QueueDepth echo the effective options.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Accepted counts requests that obtained a queue slot; Rejected those
+	// refused by a full queue or a closed service; Invalid those failing
+	// validation before queuing.
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	Invalid  uint64 `json:"invalid"`
+	// Completed, Failed and Expired partition accepted requests exactly
+	// (once drained): an accepted request is counted under whichever fate
+	// settles first — successful execution, failed execution, or the
+	// client giving up (timeout or cancellation) before the result was
+	// delivered.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Expired   uint64 `json:"expired"`
+	// InFlight and Queued describe the instantaneous load.
+	InFlight int64 `json:"in_flight"`
+	Queued   int   `json:"queued"`
+	// CompletedByKind breaks Completed down per request type.
+	CompletedByKind map[string]uint64 `json:"completed_by_kind"`
+	// BusySeconds is cumulative worker execution time; MeanLatencyMS and
+	// MeanQueueWaitMS are derived per completed-or-failed execution.
+	BusySeconds     float64 `json:"busy_seconds"`
+	MeanLatencyMS   float64 `json:"mean_latency_ms"`
+	MeanQueueWaitMS float64 `json:"mean_queue_wait_ms"`
+	// UptimeSeconds is time since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats snapshots the service counters. Counters are read individually
+// without a global lock, so a snapshot taken under load is internally
+// consistent only up to in-flight increments — fine for monitoring.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Workers:    s.opts.Workers,
+		QueueDepth: s.opts.QueueDepth,
+		Accepted:   s.stats.accepted.Load(),
+		Rejected:   s.stats.rejected.Load(),
+		Invalid:    s.stats.invalid.Load(),
+		Completed:  s.stats.completed.Load(),
+		Failed:     s.stats.failed.Load(),
+		Expired:    s.stats.expired.Load(),
+		InFlight:   s.stats.inFlight.Load(),
+		Queued:     len(s.queue),
+		CompletedByKind: map[string]uint64{
+			"schedule": s.stats.schedule.Load(),
+			"online":   s.stats.online.Load(),
+			"workload": s.stats.workload.Load(),
+		},
+		BusySeconds:   float64(s.stats.busyNanos.Load()) / 1e9,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if ran := st.Completed + st.Failed; ran > 0 {
+		st.MeanLatencyMS = float64(s.stats.busyNanos.Load()) / 1e6 / float64(ran)
+		st.MeanQueueWaitMS = float64(s.stats.queueWaitNanos.Load()) / 1e6 / float64(ran)
+	}
+	return st
+}

@@ -7,6 +7,13 @@
 // a bounded max-min fair-share model (progressive filling), which is the
 // same class of flow-level model SimGrid uses for LAN contention. This is
 // the substrate on which the paper's evaluation runs.
+//
+// Concurrency: a Link is immutable after NewLink and may be shared by any
+// number of simulations; Engine, FlowNet and Flow form one single-threaded
+// simulation instance and must be confined to one goroutine. Independent
+// simulations over the same links parallelize freely — this is what lets
+// the service and experiment layers replay schedules concurrently on
+// shared platforms.
 package sim
 
 import (

@@ -11,6 +11,11 @@
 // switches). Computations keep their mapped processor sets and widths;
 // their start times are determined dynamically by data arrival and by the
 // mapped execution order on each processor.
+//
+// Concurrency: Execute builds a fresh Engine and FlowNet per call and only
+// reads the schedule and its platform, so independent schedules may be
+// executed concurrently; a single schedule must not be executed while it
+// is being mutated.
 package simexec
 
 import (

@@ -12,10 +12,15 @@
 //     total work.
 //   - WPS-x (weighted proportional share): βᵢ = µ/|A| + (1−µ)·γᵢ/Σⱼγⱼ
 //     (Eq. 2), a tunable compromise between ES (µ=1) and PS (µ=0).
+//
+// Concurrency: Strategy is an immutable value; Betas keeps its state in
+// per-call values but reads the graphs' cached analyses, so concurrent
+// Betas calls are safe on distinct graph sets.
 package strategy
 
 import (
 	"fmt"
+	"strings"
 
 	"ptgsched/internal/cost"
 	"ptgsched/internal/dag"
@@ -215,4 +220,53 @@ func PaperSet(family daggen.Family) []Strategy {
 		kept = append(kept, s)
 	}
 	return kept
+}
+
+// ByName parses a strategy by its paper name ("S", "ES", "PS-cp",
+// "PS-width", "PS-work", "WPS-cp", "WPS-width" or "WPS-work", case
+// insensitive). A negative mu selects the paper's calibrated default for
+// the WPS variants (DefaultMu); family only affects that default. It is the
+// shared resolver behind the CLIs and the scheduling service.
+func ByName(name string, mu float64, family daggen.Family) (Strategy, error) {
+	pick := func(c Characteristic) (float64, error) {
+		if mu < 0 {
+			return DefaultMu(c, family), nil
+		}
+		if mu > 1 {
+			return 0, fmt.Errorf("strategy: mu %g outside [0,1]", mu)
+		}
+		return mu, nil
+	}
+	switch strings.ToLower(name) {
+	case "s":
+		return S(), nil
+	case "es":
+		return ES(), nil
+	case "ps-cp":
+		return PS(CriticalPath), nil
+	case "ps-width":
+		return PS(Width), nil
+	case "ps-work":
+		return PS(Work), nil
+	case "wps-cp":
+		m, err := pick(CriticalPath)
+		if err != nil {
+			return Strategy{}, err
+		}
+		return WPS(CriticalPath, m), nil
+	case "wps-width":
+		m, err := pick(Width)
+		if err != nil {
+			return Strategy{}, err
+		}
+		return WPS(Width, m), nil
+	case "wps-work":
+		m, err := pick(Work)
+		if err != nil {
+			return Strategy{}, err
+		}
+		return WPS(Work, m), nil
+	default:
+		return Strategy{}, fmt.Errorf("strategy: unknown strategy %q (want S, ES, PS-{cp,width,work} or WPS-{cp,width,work})", name)
+	}
 }

@@ -2,6 +2,10 @@
 // of mapped schedules (processor exclusivity, precedence with
 // redistribution delays, allocation-translation consistency), a text Gantt
 // renderer, and JSON export.
+//
+// Concurrency: all functions only read the schedule they are given; they
+// are safe to call concurrently on distinct schedules, or on one schedule
+// that is no longer being mutated.
 package trace
 
 import (

@@ -130,3 +130,107 @@ func TestConstrainedStrategiesUseFewerProcSeconds(t *testing.T) {
 			constrainedTotal, selfishTotal)
 	}
 }
+
+// --- edge cases: empty schedules, single tasks, zero-width placements ---
+
+// emptySchedule is a schedule with apps registered but nothing placed.
+func emptySchedule() *mapping.Schedule {
+	pf := platform.New("u", true, platform.ClusterSpec{Name: "c0", Procs: 2, Speed: 1})
+	g := dag.New("a")
+	g.AddTask("a0", 1, 1, 0)
+	a := &alloc.Allocation{Graph: g, Ref: pf.ReferenceCluster(), Beta: 1, Procs: []int{1}}
+	return mapping.NewSchedule(pf, []*alloc.Allocation{a})
+}
+
+func TestUtilizationEmptySchedule(t *testing.T) {
+	s := emptySchedule()
+	us := trace.Utilization(s)
+	if len(us) != 1 {
+		t.Fatalf("%d clusters", len(us))
+	}
+	if us[0].BusyProcSeconds != 0 || us[0].Utilization != 0 {
+		t.Fatalf("empty schedule reports busy=%g util=%g", us[0].BusyProcSeconds, us[0].Utilization)
+	}
+}
+
+func TestSummarizeEmptyScheduleNoNaN(t *testing.T) {
+	sum := trace.Summarize(emptySchedule())
+	if sum.Placements != 0 || sum.Makespan != 0 {
+		t.Fatalf("summary %+v", sum)
+	}
+	for name, v := range map[string]float64{
+		"mean utilization": sum.MeanUtilization,
+		"mean efficiency":  sum.MeanEfficiency,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %g on an empty schedule", name, v)
+		}
+	}
+	if sum.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestEfficienciesEmptySchedule(t *testing.T) {
+	es := trace.Efficiencies(emptySchedule())
+	if len(es) != 1 {
+		t.Fatalf("%d apps", len(es))
+	}
+	if es[0].Efficiency != 0 || es[0].ConsumedProcSeconds != 0 {
+		t.Fatalf("unplaced app reports %+v", es[0])
+	}
+}
+
+func TestUtilizationSingleTask(t *testing.T) {
+	pf := platform.New("u", true, platform.ClusterSpec{Name: "c0", Procs: 4, Speed: 2})
+	g := dag.New("a")
+	g.AddTask("a0", 1, 2, 0) // 2 GFlop at 2 GFlop/s = 1 s on one proc
+	a := &alloc.Allocation{Graph: g, Ref: pf.ReferenceCluster(), Beta: 1, Procs: []int{1}}
+	s := mapping.Map(pf, []*alloc.Allocation{a}, mapping.Options{})
+	us := trace.Utilization(s)
+	// One of four processors busy for the whole horizon.
+	if math.Abs(us[0].Utilization-0.25) > 1e-12 {
+		t.Fatalf("utilization = %g, want 0.25", us[0].Utilization)
+	}
+	sum := trace.Summarize(s)
+	if sum.Placements != 1 {
+		t.Fatalf("%d placements", sum.Placements)
+	}
+	if math.Abs(sum.MeanEfficiency-1) > 1e-12 {
+		t.Fatalf("single serial task efficiency = %g, want 1", sum.MeanEfficiency)
+	}
+}
+
+func TestUtilizationZeroWidthPlacements(t *testing.T) {
+	// All placements have zero duration: the horizon collapses to zero and
+	// the utilization guard must keep every ratio finite.
+	pf := platform.New("u", true, platform.ClusterSpec{Name: "c0", Procs: 2, Speed: 1})
+	g := dag.New("a")
+	g.AddTask("a0", 1, 0, 0) // zero work -> zero-width placement
+	a := &alloc.Allocation{Graph: g, Ref: pf.ReferenceCluster(), Beta: 1, Procs: []int{1}}
+	s := mapping.NewSchedule(pf, []*alloc.Allocation{a})
+	s.Add(&mapping.Placement{App: 0, Task: g.Tasks[0], Cluster: pf.Clusters[0], Procs: []int{0}, Start: 0, End: 0})
+
+	us := trace.Utilization(s)
+	if us[0].Utilization != 0 || math.IsNaN(us[0].Utilization) {
+		t.Fatalf("zero-horizon utilization = %g", us[0].Utilization)
+	}
+	sum := trace.Summarize(s)
+	if math.IsNaN(sum.MeanUtilization) || math.IsNaN(sum.MeanEfficiency) {
+		t.Fatalf("zero-horizon summary has NaN: %+v", sum)
+	}
+	es := trace.Efficiencies(s)
+	if math.IsNaN(es[0].Efficiency) {
+		t.Fatalf("zero-consumption efficiency is NaN")
+	}
+}
+
+func TestBusiestClusterEmptySchedule(t *testing.T) {
+	// With no placements every cluster ties at zero; the alphabetical
+	// tie-break must still return a real cluster, and a platform-less call
+	// pattern (no clusters) is impossible by construction.
+	name := trace.BusiestCluster(emptySchedule())
+	if name != "c0" {
+		t.Fatalf("busiest = %q, want c0", name)
+	}
+}

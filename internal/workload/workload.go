@@ -1,6 +1,10 @@
 // Package workload builds submission workloads for the online scheduler:
 // bursts, Poisson arrival processes and fixed-interval streams of PTGs, plus
 // a JSON trace format so workloads can be saved and replayed.
+//
+// Concurrency: Generate is pure given its *rand.Rand (not safe for
+// concurrent use — one source per caller); the trace readers/writers are
+// plain streaming functions over caller-owned data.
 package workload
 
 import (
@@ -10,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"ptgsched/internal/dag"
 	"ptgsched/internal/daggen"
@@ -54,6 +59,22 @@ func (p Process) String() string {
 		return "uniform"
 	default:
 		return fmt.Sprintf("Process(%d)", int(p))
+	}
+}
+
+// ProcessByName parses an arrival-process name ("burst", "poisson" or
+// "uniform", case insensitive). It is the shared resolver behind the CLIs
+// and the scheduling service.
+func ProcessByName(name string) (Process, error) {
+	switch strings.ToLower(name) {
+	case "burst":
+		return Burst, nil
+	case "poisson":
+		return Poisson, nil
+	case "uniform":
+		return Uniform, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown arrival process %q (want burst, poisson or uniform)", name)
 	}
 }
 

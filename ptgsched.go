@@ -30,6 +30,22 @@
 // The experiment sub-API (RunExperiment with Fig2Config … Fig5Config)
 // regenerates every figure of the paper's evaluation; see the cmd/ptgbench
 // doc comment for the command-line entry points.
+//
+// Above the per-batch pipeline sits the concurrency layer: NewService
+// starts a bounded worker pool multiplexing many schedule/online/workload
+// requests through one shared server core, and Serve exposes it over
+// HTTP+JSON (the cmd/ptgserve surface). RunExperiment fans campaign runs
+// out over Config.Workers goroutines with results bit-identical to the
+// sequential runner.
+//
+// Concurrency contract, in brief: a Platform (and its presets) is
+// immutable after construction and freely shared; a Scheduler is an
+// immutable configuration whose Schedule calls keep all mutable state
+// per-call; a Graph carries cached analyses and must be confined to one
+// scheduling pipeline at a time. Independent runs over distinct graphs
+// therefore parallelize without locks — the Service and the experiment
+// engine are built exactly on that rule. Each internal package's godoc
+// states its own contract.
 package ptgsched
 
 import (

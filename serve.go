@@ -1,0 +1,81 @@
+package ptgsched
+
+import (
+	"net/http"
+
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/service"
+	"ptgsched/internal/strategy"
+	"ptgsched/internal/workload"
+)
+
+// Scheduling service (the concurrency layer over the per-batch pipeline):
+// many client sessions are multiplexed through one shared server core — a
+// bounded worker pool running per-request Scheduler instances over shared
+// read-only platforms. All service types are safe for concurrent use.
+type (
+	// Service is a concurrent scheduling service; create one with
+	// NewService and release it with its Close method.
+	Service = service.Service
+	// ServiceOptions sizes the worker pool, the request queue and the
+	// per-request timeout.
+	ServiceOptions = service.Options
+	// ServiceStats is a point-in-time snapshot of the service counters.
+	ServiceStats = service.Stats
+	// ScheduleServiceRequest is one offline batch-scheduling request.
+	ScheduleServiceRequest = service.ScheduleRequest
+	// ScheduleServiceResponse reports one scheduled batch.
+	ScheduleServiceResponse = service.ScheduleResponse
+	// OnlineServiceRequest is one dynamic-arrivals scheduling request.
+	OnlineServiceRequest = service.OnlineRequest
+	// OnlineServiceResponse reports one online run.
+	OnlineServiceResponse = service.OnlineResponse
+	// WorkloadServiceRequest is one workload-generation request.
+	WorkloadServiceRequest = service.WorkloadRequest
+	// WorkloadServiceResponse reports one generated workload.
+	WorkloadServiceResponse = service.WorkloadResponse
+)
+
+// Service errors.
+var (
+	// ErrServiceQueueFull reports a request refused by a full queue.
+	ErrServiceQueueFull = service.ErrQueueFull
+	// ErrServiceClosed reports a request submitted after Close.
+	ErrServiceClosed = service.ErrClosed
+)
+
+// NewService starts a concurrent scheduling service: a bounded request
+// queue feeding a fixed worker pool, each worker running the full paper
+// pipeline on a private Scheduler per request.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// ServiceHandler exposes a service over HTTP+JSON (the ptgserve wire
+// surface): POST /v1/schedule, /v1/online and /v1/workload, plus
+// GET /v1/stats, /metrics and /healthz.
+func ServiceHandler(s *Service) http.Handler { return service.Handler(s) }
+
+// Serve starts a scheduling service with the given options and serves its
+// HTTP surface on addr. It blocks until the listener fails, like
+// http.ListenAndServe; cmd/ptgserve wraps it with flags and graceful
+// shutdown.
+func Serve(addr string, opts ServiceOptions) error {
+	s := service.New(opts)
+	defer s.Close()
+	return http.ListenAndServe(addr, service.Handler(s))
+}
+
+// Name registries shared by the CLIs and the service wire format.
+var (
+	// PlatformByName resolves a Grid'5000 preset name (lille, nancy,
+	// rennes, sophia) to a fresh Platform.
+	PlatformByName = platform.ByName
+	// FamilyByName parses a PTG family name (random, fft, strassen).
+	FamilyByName = daggen.FamilyByName
+	// StrategyByName parses a paper strategy name (S, ES, PS-*, WPS-*); a
+	// negative mu selects the paper's calibrated default for WPS variants.
+	StrategyByName = strategy.ByName
+	// ProcessByName parses an arrival-process name (burst, poisson,
+	// uniform).
+	ProcessByName = workload.ProcessByName
+)
