@@ -1,0 +1,59 @@
+package ptgsched
+
+import (
+	"ptgsched/internal/scenario"
+)
+
+// Declarative campaign engine (the scenario layer): a JSON spec describing
+// a scenario space — platforms (presets or inline heterogeneous cluster
+// specs), PTG families with explicit parameter grids, strategy sets,
+// replication counts, seeds and online arrival processes — expands into a
+// deterministic cartesian sweep that runs over the experiment worker pool,
+// optionally partitioned into shards whose JSONL outputs recombine
+// bit-identically. The checked-in examples/campaign.json reproduces the
+// paper's Figure 3 campaign through this path.
+type (
+	// CampaignSpec is a parsed declarative campaign.
+	CampaignSpec = scenario.Spec
+	// CampaignFamilySpec selects a PTG family and optional parameter grid.
+	CampaignFamilySpec = scenario.FamilySpec
+	// CampaignStrategySpec names one strategy of the comparison set.
+	CampaignStrategySpec = scenario.StrategySpec
+	// CampaignPlatformSpec is an inline (possibly heterogeneous) platform.
+	CampaignPlatformSpec = scenario.PlatformSpec
+	// CampaignClusterSpec is one cluster of an inline platform.
+	CampaignClusterSpec = scenario.ClusterSpec
+	// CampaignOnlineSpec sweeps the online scheduler's arrival processes.
+	CampaignOnlineSpec = scenario.OnlineSpec
+	// CampaignExpansion is a spec expanded into its deterministic sweep.
+	CampaignExpansion = scenario.Expansion
+	// CampaignCell is one aggregation cell of a sweep.
+	CampaignCell = scenario.Cell
+	// CampaignPoint is one fully determined scenario of a sweep.
+	CampaignPoint = scenario.Point
+	// CampaignPointResult is one point's per-strategy measurement, the
+	// JSONL record of sharded sweeps.
+	CampaignPointResult = scenario.PointResult
+	// CampaignTable is one cell's aggregated summary; its Result renders
+	// through ExperimentResult's table and CSV writers.
+	CampaignTable = scenario.Table
+)
+
+// Campaign entry points.
+var (
+	// ParseCampaignSpec decodes and validates a JSON campaign spec.
+	ParseCampaignSpec = scenario.ParseSpec
+	// ExpandCampaign enumerates a spec's full scenario sweep.
+	ExpandCampaign = scenario.Expand
+	// PaperCampaignSpec returns the spec-driven form of a paper figure
+	// campaign ("fig2" … "fig5").
+	PaperCampaignSpec = scenario.PaperSpec
+	// ParseCampaignShard parses a shard selector "i/n".
+	ParseCampaignShard = scenario.ParseShard
+	// WriteCampaignJSONL / ReadCampaignJSONL stream per-point results in
+	// the bit-exact shard interchange format.
+	WriteCampaignJSONL = scenario.WriteJSONL
+	ReadCampaignJSONL  = scenario.ReadJSONL
+	// SortCampaignResults orders merged shard results by point index.
+	SortCampaignResults = scenario.SortResults
+)

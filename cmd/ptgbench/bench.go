@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -69,7 +70,7 @@ var seedBaseline = []BenchResult{
 
 // bench runs the regression suite and prints a comparison against the seed
 // baseline; with a non-empty jsonPath it also writes BENCH_mapping.json.
-func bench(jsonPath string) {
+func bench(w io.Writer, jsonPath string) error {
 	// Write through a temp file in the target directory: a bad path fails
 	// before the minute-long suite runs, and an interrupt or mid-suite
 	// failure cannot truncate an existing committed report — the rename
@@ -81,7 +82,7 @@ func bench(jsonPath string) {
 		var err error
 		out, err = os.Create(tmpPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer os.Remove(tmpPath)
 	}
@@ -99,14 +100,14 @@ func bench(jsonPath string) {
 		baseline[r.Name] = r
 	}
 
-	fmt.Printf("%-22s %14s %14s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "speedup", "alloc ÷")
+	fmt.Fprintf(w, "%-22s %14s %14s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "speedup", "alloc ÷")
 	for _, c := range benchsuite.Suite() {
 		res := testing.Benchmark(c.Bench)
 		if res.N == 0 || res.NsPerOp() <= 0 {
 			// testing.Benchmark returns a zero result when the function
 			// calls b.Fatal; a broken pipeline must not be recorded as a
 			// plausible measurement.
-			fatal(fmt.Errorf("benchmark %s failed (zero result)", c.Name))
+			return fmt.Errorf("benchmark %s failed (zero result)", c.Name)
 		}
 		cur := BenchResult{
 			Name:        c.Name,
@@ -123,7 +124,7 @@ func bench(jsonPath string) {
 			report.SpeedupNs[c.Name] = speedup
 			report.AllocRatio[c.Name] = allocRatio
 		}
-		fmt.Printf("%-22s %14.0f %14d %11.1fx %11.1fx\n",
+		fmt.Fprintf(w, "%-22s %14.0f %14d %11.1fx %11.1fx\n",
 			c.Name, cur.NsPerOp, cur.AllocsPerOp, speedup, allocRatio)
 	}
 
@@ -147,23 +148,24 @@ func bench(jsonPath string) {
 			conc.ServiceReqPerSecond = 8 / (svc.NsPerOp / 1e9)
 		}
 		report.Concurrency = conc
-		fmt.Printf("\nconcurrent throughput: %.2fx at 8 workers (GOMAXPROCS=%d), service %.1f req/s at 8 clients\n",
+		fmt.Fprintf(w, "\nconcurrent throughput: %.2fx at 8 workers (GOMAXPROCS=%d), service %.1f req/s at 8 clients\n",
 			conc.CampaignSpeedup8W, conc.GOMAXPROCS, conc.ServiceReqPerSecond)
 	}
 
 	if out == nil {
-		return
+		return nil
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
-		fatal(err)
+		return err
 	}
 	if err := out.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	if err := os.Rename(tmpPath, jsonPath); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %s\n", jsonPath)
+	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	return nil
 }

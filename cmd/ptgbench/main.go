@@ -1,8 +1,8 @@
 // Command ptgbench regenerates the tables and figures of the paper's
-// evaluation (§7). Each experiment prints the same rows/series the paper
-// reports; absolute values depend on the simulated substrate, the *shape*
-// (strategy rankings, trends in the number of PTGs, the µ trade-off) is the
-// reproduction target.
+// evaluation (§7) and runs declarative campaign sweeps. Each experiment
+// prints the same rows/series the paper reports; absolute values depend on
+// the simulated substrate, the *shape* (strategy rankings, trends in the
+// number of PTGs, the µ trade-off) is the reproduction target.
 //
 // Usage:
 //
@@ -12,6 +12,16 @@
 //	ptgbench -experiment mu-calibration
 //	ptgbench -experiment ablation
 //
+// Campaign mode sweeps a declarative scenario spec (see examples/ and the
+// README's campaign section). An unsharded run prints the aggregated
+// summary tables; a -shard run streams its shard's per-point results as
+// JSONL (to -jsonl or stdout); -merge recombines shard files into the same
+// summary the unsharded run prints, bit-identically:
+//
+//	ptgbench -campaign examples/campaign.json
+//	ptgbench -campaign examples/campaign.json -shard 0/4 -jsonl shard0.jsonl
+//	ptgbench -campaign examples/campaign.json -merge shard0.jsonl,shard1.jsonl,shard2.jsonl,shard3.jsonl
+//
 // The bench experiment runs the benchmark-regression suite (the same one
 // behind `go test -bench`, see internal/benchsuite) and compares it with
 // the frozen seed baseline; -json regenerates BENCH_mapping.json:
@@ -20,8 +30,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -30,90 +42,243 @@ import (
 	"ptgsched"
 )
 
-func main() {
-	var (
-		name     = flag.String("experiment", "table1", "table1, fig1, fig2, fig3, fig4, fig5, mu-calibration, ablation, dynamic or bench")
-		reps     = flag.Int("reps", 25, "random PTG combinations per point (paper: 25)")
-		seed     = flag.Int64("seed", 42, "base random seed")
-		workers  = flag.Int("workers", 0, "concurrent runs (default: GOMAXPROCS)")
-		csvPath  = flag.String("csv", "", "also write the aggregated results to this CSV file")
-		jsonPath = flag.String("json", "", "bench: write the regression report to this JSON file (e.g. BENCH_mapping.json)")
-	)
-	flag.Parse()
+// errUsage signals a flag-parse failure the flag package already reported
+// to the output writer; main exits nonzero without printing it twice.
+var errUsage = errors.New("usage")
 
-	switch strings.ToLower(*name) {
-	case "table1":
-		table1()
-	case "fig1":
-		fig1()
-	case "fig2":
-		campaign(ptgsched.Fig2Config(*seed, *reps), *workers, *csvPath,
-			"Figure 2: µ sweep of WPS-work on random PTGs",
-			ptgsched.MetricUnfairness, ptgsched.MetricAvgMakespan)
-	case "fig3":
-		campaign(ptgsched.Fig3Config(*seed, *reps), *workers, *csvPath,
-			"Figure 3: 8 strategies on random PTGs",
-			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
-	case "fig4":
-		campaign(ptgsched.Fig4Config(*seed, *reps), *workers, *csvPath,
-			"Figure 4: 8 strategies on FFT PTGs",
-			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
-	case "fig5":
-		campaign(ptgsched.Fig5Config(*seed, *reps), *workers, *csvPath,
-			"Figure 5: 6 strategies on Strassen PTGs",
-			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
-	case "mu-calibration":
-		muCalibration(*seed, *reps, *workers)
-	case "ablation":
-		ablation(*seed, *reps, *workers, *csvPath)
-	case "dynamic":
-		dynamic(*seed, *reps)
-	case "bench":
-		bench(*jsonPath)
-	default:
-		fmt.Fprintf(os.Stderr, "ptgbench: unknown experiment %q\n", *name)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "ptgbench:", err)
+		}
 		os.Exit(1)
 	}
 }
 
+// run executes one ptgbench invocation, writing its report to w. It is
+// the testable core behind main.
+func run(argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ptgbench", flag.ContinueOnError)
+	var (
+		name         = fs.String("experiment", "table1", "table1, fig1, fig2, fig3, fig4, fig5, mu-calibration, ablation, dynamic or bench")
+		campaignPath = fs.String("campaign", "", "run the declarative campaign spec at this path instead of a named experiment")
+		shard        = fs.String("shard", "", "campaign: run only shard i/n and stream per-point JSONL results")
+		jsonl        = fs.String("jsonl", "", "campaign: write the shard's JSONL results to this file (default stdout)")
+		merge        = fs.String("merge", "", "campaign: comma-separated shard JSONL files to aggregate instead of running")
+		reps         = fs.Int("reps", 25, "random PTG combinations per point (paper: 25)")
+		seed         = fs.Int64("seed", 42, "base random seed")
+		workers      = fs.Int("workers", 0, "concurrent runs (default: GOMAXPROCS)")
+		csvPath      = fs.String("csv", "", "also write the aggregated results to this CSV file")
+		jsonPath     = fs.String("json", "", "bench: write the regression report to this JSON file (e.g. BENCH_mapping.json)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errUsage
+	}
+
+	if *campaignPath != "" {
+		return campaignMode(w, *campaignPath, *shard, *jsonl, *merge, *workers)
+	}
+	if *shard != "" || *jsonl != "" || *merge != "" {
+		return fmt.Errorf("-shard, -jsonl and -merge require -campaign")
+	}
+
+	switch strings.ToLower(*name) {
+	case "table1":
+		return table1(w)
+	case "fig1":
+		return fig1(w)
+	case "fig2":
+		return campaign(w, ptgsched.Fig2Config(*seed, *reps), *workers, *csvPath,
+			"Figure 2: µ sweep of WPS-work on random PTGs",
+			ptgsched.MetricUnfairness, ptgsched.MetricAvgMakespan)
+	case "fig3":
+		return campaign(w, ptgsched.Fig3Config(*seed, *reps), *workers, *csvPath,
+			"Figure 3: 8 strategies on random PTGs",
+			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
+	case "fig4":
+		return campaign(w, ptgsched.Fig4Config(*seed, *reps), *workers, *csvPath,
+			"Figure 4: 8 strategies on FFT PTGs",
+			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
+	case "fig5":
+		return campaign(w, ptgsched.Fig5Config(*seed, *reps), *workers, *csvPath,
+			"Figure 5: 6 strategies on Strassen PTGs",
+			ptgsched.MetricUnfairness, ptgsched.MetricRelMakespan)
+	case "mu-calibration":
+		return muCalibration(w, *seed, *reps, *workers)
+	case "ablation":
+		return ablation(w, *seed, *reps, *workers)
+	case "dynamic":
+		return dynamic(w, *seed, *reps)
+	case "bench":
+		return bench(w, *jsonPath)
+	default:
+		return fmt.Errorf("unknown experiment %q", *name)
+	}
+}
+
+// campaignMode drives the declarative scenario engine: sweep a spec, run
+// one shard of it, or merge shard outputs.
+func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge string, workers int) error {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := ptgsched.ParseCampaignSpec(data)
+	if err != nil {
+		return err
+	}
+	e, err := ptgsched.ExpandCampaign(spec)
+	if err != nil {
+		return err
+	}
+
+	if merge != "" {
+		if shard != "" {
+			return fmt.Errorf("-merge and -shard are mutually exclusive")
+		}
+		var results []ptgsched.CampaignPointResult
+		for _, path := range strings.Split(merge, ",") {
+			f, err := os.Open(strings.TrimSpace(path))
+			if err != nil {
+				return err
+			}
+			rs, err := ptgsched.ReadCampaignJSONL(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			results = append(results, rs...)
+		}
+		ptgsched.SortCampaignResults(results)
+		if err := writeJSONLFile(w, jsonlPath, results, len(e.Points)); err != nil {
+			return err
+		}
+		return renderCampaign(w, specPath, e, results)
+	}
+
+	if shard != "" {
+		idx, n, err := ptgsched.ParseCampaignShard(shard)
+		if err != nil {
+			return err
+		}
+		pts, err := e.Shard(idx, n)
+		if err != nil {
+			return err
+		}
+		results := e.Run(pts, workers)
+		out := w
+		if jsonlPath != "" {
+			f, err := os.Create(jsonlPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := ptgsched.WriteCampaignJSONL(out, results); err != nil {
+			return err
+		}
+		if jsonlPath != "" {
+			fmt.Fprintf(w, "wrote %d of %d points (shard %s) to %s\n",
+				len(results), len(e.Points), shard, jsonlPath)
+		}
+		return nil
+	}
+
+	results := e.Run(e.Points, workers)
+	if err := writeJSONLFile(w, jsonlPath, results, len(e.Points)); err != nil {
+		return err
+	}
+	return renderCampaign(w, specPath, e, results)
+}
+
+// writeJSONLFile saves per-point results to path when one was requested
+// (unsharded and merge modes stream tables to stdout, so the JSONL always
+// goes to a file there).
+func writeJSONLFile(w io.Writer, path string, results []ptgsched.CampaignPointResult, total int) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ptgsched.WriteCampaignJSONL(f, results); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d of %d points to %s\n", len(results), total, path)
+	return nil
+}
+
+// renderCampaign aggregates a complete result set and prints every cell's
+// summary tables.
+func renderCampaign(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, results []ptgsched.CampaignPointResult) error {
+	tables, err := e.Aggregate(results)
+	if err != nil {
+		return err
+	}
+	title := e.Spec.Name
+	if title == "" {
+		title = specPath
+	}
+	fmt.Fprintf(w, "Campaign %s: %d cells, %d points\n", title, len(e.Cells), len(e.Points))
+	for _, tb := range tables {
+		fmt.Fprintf(w, "\n--- cell %s ---\n", tb.Cell.Label)
+		for _, m := range []ptgsched.ExperimentMetric{
+			ptgsched.MetricUnfairness, ptgsched.MetricAvgMakespan, ptgsched.MetricRelMakespan,
+		} {
+			if err := tb.Result.RenderTable(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // table1 prints the platform inventory of Table 1 plus the derived
 // quantities quoted in §2.
-func table1() {
-	fmt.Println("Table 1: multi-cluster subsets of the Grid'5000 platform")
-	fmt.Printf("%-8s %-10s %6s %9s\n", "Site", "Cluster", "#proc", "GFlop/s")
+func table1(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: multi-cluster subsets of the Grid'5000 platform")
+	fmt.Fprintf(w, "%-8s %-10s %6s %9s\n", "Site", "Cluster", "#proc", "GFlop/s")
 	for _, pf := range ptgsched.Grid5000Sites() {
 		for i, c := range pf.Clusters {
 			site := ""
 			if i == 0 {
 				site = pf.Name
 			}
-			fmt.Printf("%-8s %-10s %6d %9.3f\n", site, c.Name, c.Procs, c.Speed)
+			fmt.Fprintf(w, "%-8s %-10s %6d %9.3f\n", site, c.Name, c.Procs, c.Speed)
 		}
 	}
-	fmt.Println("\nDerived (§2):")
-	fmt.Printf("%-8s %6s %14s %15s %s\n", "Site", "#proc", "heterogeneity", "power (GF/s)", "topology")
+	fmt.Fprintln(w, "\nDerived (§2):")
+	fmt.Fprintf(w, "%-8s %6s %14s %15s %s\n", "Site", "#proc", "heterogeneity", "power (GF/s)", "topology")
 	for _, pf := range ptgsched.Grid5000Sites() {
 		topo := "per-cluster switches"
 		if pf.SharedSwitch {
 			topo = "shared switch"
 		}
-		fmt.Printf("%-8s %6d %13.1f%% %15.1f %s\n",
+		fmt.Fprintf(w, "%-8s %6d %13.1f%% %15.1f %s\n",
 			pf.Name, pf.TotalProcs(), pf.Heterogeneity()*100, pf.TotalPower(), topo)
 	}
+	return nil
 }
 
 // fig1 reproduces the illustration of §5: two PTGs on two processors, the
 // global ordering postpones the small application while the ready-task
 // ordering does not.
-func fig1() {
-	fmt.Println("Figure 1: global ordering vs ready-task ordering")
-	fmt.Println("(two PTGs on a 2-processor cluster, one processor each)")
+func fig1(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 1: global ordering vs ready-task ordering")
+	fmt.Fprintln(w, "(two PTGs on a 2-processor cluster, one processor each)")
 	pf := ptgsched.NewPlatform("fig1", true, ptgsched.ClusterSpec{Name: "c0", Procs: 2, Speed: 1})
 	mk := func(name string, works ...float64) *ptgsched.Graph {
 		g := ptgsched.NewGraph(name)
 		var prev *ptgsched.Task
-		for i, w := range works {
-			t := g.AddTask(fmt.Sprintf("%s%d", name, i), 1, w, 0)
+		for i, wk := range works {
+			t := g.AddTask(fmt.Sprintf("%s%d", name, i), 1, wk, 0)
 			if prev != nil {
 				g.MustAddEdge(prev, t, 0)
 			}
@@ -129,43 +294,45 @@ func fig1() {
 		sched := ptgsched.NewScheduler(pf)
 		sched.MapOptions = ordering
 		res := sched.Schedule([]*ptgsched.Graph{big, small}, ptgsched.ES())
-		fmt.Printf("\n--- %v ordering ---\n", ordering.Ordering)
-		fmt.Printf("big PTG makespan:   %6.2f s\n", res.Makespan(0))
-		fmt.Printf("small PTG makespan: %6.2f s\n", res.Makespan(1))
-		if err := ptgsched.WriteGantt(os.Stdout, res.Schedule, 60); err != nil {
-			fatal(err)
+		fmt.Fprintf(w, "\n--- %v ordering ---\n", ordering.Ordering)
+		fmt.Fprintf(w, "big PTG makespan:   %6.2f s\n", res.Makespan(0))
+		fmt.Fprintf(w, "small PTG makespan: %6.2f s\n", res.Makespan(1))
+		if err := ptgsched.WriteGantt(w, res.Schedule, 60); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
-func campaign(cfg ptgsched.ExperimentConfig, workers int, csvPath, title string, metricsToShow ...ptgsched.ExperimentMetric) {
+func campaign(w io.Writer, cfg ptgsched.ExperimentConfig, workers int, csvPath, title string, metricsToShow ...ptgsched.ExperimentMetric) error {
 	cfg.Workers = workers
-	fmt.Println(title)
-	fmt.Printf("(%d combinations × %d platforms = %d runs per point)\n\n",
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "(%d combinations × %d platforms = %d runs per point)\n\n",
 		cfg.Reps, 4, cfg.Reps*4)
 	res := ptgsched.RunExperiment(cfg)
 	for _, m := range metricsToShow {
-		if err := res.RenderTable(os.Stdout, m); err != nil {
-			fatal(err)
+		if err := res.RenderTable(w, m); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := res.WriteCSV(f); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", csvPath)
+		fmt.Fprintf(w, "wrote %s\n", csvPath)
 	}
+	return nil
 }
 
 // muCalibration reproduces the textual µ calibration of §7 for the three
 // WPS variants on their relevant families.
-func muCalibration(seed int64, reps, workers int) {
+func muCalibration(w io.Writer, seed int64, reps, workers int) error {
 	cases := []struct {
 		char   ptgsched.Characteristic
 		family ptgsched.PTGFamily
@@ -178,23 +345,24 @@ func muCalibration(seed int64, reps, workers int) {
 	for _, c := range cases {
 		cfg := ptgsched.MuCalibrationConfig(c.char, c.family, seed, reps)
 		cfg.Workers = workers
-		fmt.Printf("µ calibration: WPS-%s on %s PTGs (paper's choice: µ=%.1f)\n",
+		fmt.Fprintf(w, "µ calibration: WPS-%s on %s PTGs (paper's choice: µ=%.1f)\n",
 			c.char, c.family, ptgsched.DefaultMu(c.char, c.family))
 		res := ptgsched.RunExperiment(cfg)
-		if err := res.RenderTable(os.Stdout, ptgsched.MetricUnfairness); err != nil {
-			fatal(err)
+		if err := res.RenderTable(w, ptgsched.MetricUnfairness); err != nil {
+			return err
 		}
-		if err := res.RenderTable(os.Stdout, ptgsched.MetricAvgMakespan); err != nil {
-			fatal(err)
+		if err := res.RenderTable(w, ptgsched.MetricAvgMakespan); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	return nil
 }
 
 // ablation quantifies the mapper's design choices: ready-task vs
 // global ordering and packing on/off, on the paper's random workload.
-func ablation(seed int64, reps, workers int, csvPath string) {
-	fmt.Println("Ablation: mapping design choices on random PTGs, ES strategy")
+func ablation(w io.Writer, seed int64, reps, workers int) error {
+	fmt.Fprintln(w, "Ablation: mapping design choices on random PTGs, ES strategy")
 	variants := []struct {
 		label string
 		opts  ptgsched.MapOptions
@@ -205,14 +373,14 @@ func ablation(seed int64, reps, workers int, csvPath string) {
 		{"global,no-pack", ptgsched.MapOptions{Ordering: ptgsched.GlobalOrdering, NoPacking: true}},
 	}
 	nptgs := []int{2, 6, 10}
-	fmt.Printf("%-16s %8s %14s %14s\n", "variant", "#PTGs", "unfairness", "makespan (s)")
+	fmt.Fprintf(w, "%-16s %8s %14s %14s\n", "variant", "#PTGs", "unfairness", "makespan (s)")
 	for _, v := range variants {
 		for _, n := range nptgs {
 			unf, mak := ablationPoint(v.opts, n, seed, reps, workers)
-			fmt.Printf("%-16s %8d %14.3f %14.1f\n", v.label, n, unf, mak)
+			fmt.Fprintf(w, "%-16s %8d %14.3f %14.1f\n", v.label, n, unf, mak)
 		}
 	}
-	_ = csvPath
+	return nil
 }
 
 func ablationPoint(opts ptgsched.MapOptions, n int, seed int64, reps, workers int) (unfairness, makespan float64) {
@@ -247,8 +415,8 @@ func ablationPoint(opts ptgsched.MapOptions, n int, seed int64, reps, workers in
 // dynamic explores the paper's future-work direction (§8): applications
 // with different submission times, constraints recomputed online. Reports
 // mean flow time and flow-time unfairness for the online strategies.
-func dynamic(seed int64, reps int) {
-	fmt.Println("Dynamic submissions (§8 future work): Poisson arrivals, online rebalancing")
+func dynamic(w io.Writer, seed int64, reps int) error {
+	fmt.Fprintln(w, "Dynamic submissions (§8 future work): Poisson arrivals, online rebalancing")
 	strategies := []struct {
 		label string
 		opts  ptgsched.OnlineOptions
@@ -262,7 +430,7 @@ func dynamic(seed int64, reps int) {
 		}},
 	}
 	counts := []int{4, 8, 12}
-	fmt.Printf("%-18s %6s %16s %18s %12s\n",
+	fmt.Fprintf(w, "%-18s %6s %16s %18s %12s\n",
 		"strategy", "#apps", "mean flow (s)", "flow stddev (s)", "rebalances")
 	for _, st := range strategies {
 		for _, n := range counts {
@@ -285,9 +453,10 @@ func dynamic(seed int64, reps int) {
 				}
 			}
 			mean, sd := meanStd(flows)
-			fmt.Printf("%-18s %6d %16.1f %18.1f %12d\n", st.label, n, mean, sd, rebal)
+			fmt.Fprintf(w, "%-18s %6d %16.1f %18.1f %12d\n", st.label, n, mean, sd, rebal)
 		}
 	}
+	return nil
 }
 
 func meanStd(xs []float64) (mean, sd float64) {
@@ -303,9 +472,4 @@ func meanStd(xs []float64) (mean, sd float64) {
 		sd = math.Sqrt(v / float64(len(xs)-1))
 	}
 	return mean, sd
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ptgbench:", err)
-	os.Exit(1)
 }

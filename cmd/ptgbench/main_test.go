@@ -1,0 +1,101 @@
+package main
+
+// Golden CLI tests (see internal/clitest): ptgbench's stdout for fixed
+// seeds is captured under testdata/*.golden; refresh with
+// `go test ./cmd/ptgbench -update`. The shard test additionally asserts
+// the core campaign promise on the wire: -shard 0/2 and 1/2 recombined
+// through -merge print byte-for-byte what the unsharded run prints.
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptgsched/internal/clitest"
+)
+
+func runCLI(t *testing.T, args ...string) []byte {
+	t.Helper()
+	return clitest.Run(t, run, args...)
+}
+
+func TestGoldenTable1(t *testing.T) {
+	clitest.CheckGolden(t, "table1.golden", runCLI(t, "-experiment", "table1"))
+}
+
+func TestGoldenCampaign(t *testing.T) {
+	clitest.CheckGolden(t, "campaign.golden",
+		runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-workers", "2"))
+}
+
+func TestCampaignShardsMergeToUnshardedOutput(t *testing.T) {
+	unsharded := runCLI(t, "-campaign", "testdata/smoke-campaign.json")
+
+	dir := t.TempDir()
+	s0 := filepath.Join(dir, "shard0.jsonl")
+	s1 := filepath.Join(dir, "shard1.jsonl")
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "0/2", "-jsonl", s0)
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "1/2", "-jsonl", s1)
+	merged := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-merge", s1+","+s0)
+
+	if !bytes.Equal(unsharded, merged) {
+		t.Errorf("merged shard output differs from unsharded run\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			unsharded, merged)
+	}
+}
+
+func TestCampaignShardStreamsJSONLToStdout(t *testing.T) {
+	out := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "0/4")
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 2 { // 8 points, shard 0 of 4
+		t.Fatalf("%d JSONL lines, want 2:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, `{"index":`) {
+			t.Fatalf("not a JSONL record: %s", l)
+		}
+	}
+}
+
+func TestCampaignUnshardedHonorsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "all.jsonl")
+	out := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-jsonl", path)
+	if !strings.Contains(string(out), "wrote 8 of 8 points") {
+		t.Fatalf("unsharded -jsonl not reported:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-campaign", "testdata/smoke-campaign.json", "-merge", path}, &buf); err != nil {
+		t.Fatalf("merging the unsharded JSONL: %v", err)
+	}
+}
+
+func TestHelpExitsCleanly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h returned %v", err)
+	}
+	if !strings.Contains(buf.String(), "-experiment") {
+		t.Fatal("-h did not print usage")
+	}
+}
+
+func TestRunRejectsUnknownExperimentAndBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-experiment", "fig9"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-campaign", "testdata/smoke-campaign.json", "-shard", "0/2", "-merge", "x"}, &buf); err == nil {
+		t.Error("-shard with -merge accepted")
+	}
+	if err := run([]string{"-campaign", "no-such-file.json"}, &buf); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	if err := run([]string{"-experiment", "table1", "-shard", "0/4"}, &buf); err == nil {
+		t.Error("-shard without -campaign accepted")
+	}
+}

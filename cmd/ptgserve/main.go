@@ -11,13 +11,15 @@
 //	POST /v1/schedule  {"platform":"rennes","family":"random","count":6,"strategy":"WPS-work","seed":7}
 //	POST /v1/online    {"platform":"sophia","count":8,"process":"poisson","rate":0.25,"seed":1}
 //	POST /v1/workload  {"family":"fft","count":10,"process":"uniform","rate":0.5}
+//	POST /v1/campaign  {"spec":{...declarative campaign spec...},"shard":"0/4"}
 //	GET  /v1/stats     service counters as JSON
 //	GET  /metrics      the same counters in Prometheus text format
 //	GET  /healthz      liveness probe
 //
 // A full queue answers 429 with a Retry-After hint; a request exceeding the
-// timeout answers 504. SIGINT/SIGTERM drain in-flight requests before
-// exiting.
+// timeout answers 504. Every error response carries the JSON envelope
+// {"error": ..., "code": ...}. SIGINT/SIGTERM drain in-flight requests
+// before exiting.
 package main
 
 import (

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -18,120 +20,139 @@ import (
 	"ptgsched"
 )
 
-func main() {
-	var (
-		mode         = flag.String("mode", "generate", "generate, inspect or replay")
-		familyName   = flag.String("family", "random", "PTG family: random, fft or strassen")
-		count        = flag.Int("count", 10, "number of applications")
-		processName  = flag.String("process", "poisson", "arrival process: burst, poisson or uniform")
-		rate         = flag.Float64("rate", 0.2, "arrival rate in apps/second")
-		seed         = flag.Int64("seed", 1, "random seed")
-		in           = flag.String("in", "", "input trace file")
-		out          = flag.String("out", "", "output trace file (default stdout)")
-		platformName = flag.String("platform", "rennes", "platform for replay")
-		strategyName = flag.String("strategy", "WPS-work", "strategy for replay: S, ES, PS-{cp,width,work} or WPS-{cp,width,work}")
-		mu           = flag.Float64("mu", -1, "µ for WPS strategies on replay (default: the paper's calibrated value for -family)")
-	)
-	flag.Parse()
+// errUsage signals a flag-parse failure the flag package already reported
+// to the output writer; main exits nonzero without printing it twice.
+var errUsage = errors.New("usage")
 
-	switch strings.ToLower(*mode) {
-	case "generate":
-		generate(*familyName, *count, *processName, *rate, *seed, *out)
-	case "inspect":
-		inspect(*in)
-	case "replay":
-		replay(*in, *platformName, *strategyName, *mu, *familyName)
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "ptgtrace:", err)
+		}
+		os.Exit(1)
 	}
 }
 
-func generate(familyName string, count int, processName string, rate float64, seed int64, out string) {
+// run executes one ptgtrace invocation, writing its report to w. It is the
+// testable core behind main.
+func run(argv []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ptgtrace", flag.ContinueOnError)
+	var (
+		mode         = fs.String("mode", "generate", "generate, inspect or replay")
+		familyName   = fs.String("family", "random", "PTG family: random, fft or strassen")
+		count        = fs.Int("count", 10, "number of applications")
+		processName  = fs.String("process", "poisson", "arrival process: burst, poisson or uniform")
+		rate         = fs.Float64("rate", 0.2, "arrival rate in apps/second")
+		seed         = fs.Int64("seed", 1, "random seed")
+		in           = fs.String("in", "", "input trace file")
+		out          = fs.String("out", "", "output trace file (default stdout)")
+		platformName = fs.String("platform", "rennes", "platform for replay")
+		strategyName = fs.String("strategy", "WPS-work", "strategy for replay: S, ES, PS-{cp,width,work} or WPS-{cp,width,work}")
+		mu           = fs.Float64("mu", -1, "µ for WPS strategies on replay (default: the paper's calibrated value for -family)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errUsage
+	}
+
+	switch strings.ToLower(*mode) {
+	case "generate":
+		return generate(w, *familyName, *count, *processName, *rate, *seed, *out)
+	case "inspect":
+		return inspect(w, *in)
+	case "replay":
+		return replay(w, *in, *platformName, *strategyName, *mu, *familyName)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func generate(w io.Writer, familyName string, count int, processName string, rate float64, seed int64, out string) error {
 	family, err := ptgsched.FamilyByName(familyName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	process, err := ptgsched.ProcessByName(processName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	arrivals := ptgsched.GenerateWorkload(ptgsched.WorkloadSpec{
 		Family: family, Count: count, Process: process, Rate: rate,
 	}, rand.New(rand.NewSource(seed)))
 
-	w := os.Stdout
+	dst := w
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
-		w = f
+		dst = f
 	}
-	if err := ptgsched.WriteWorkloadTrace(w, arrivals); err != nil {
-		fatal(err)
-	}
+	return ptgsched.WriteWorkloadTrace(dst, arrivals)
 }
 
-func readTrace(in string) []ptgsched.Arrival {
+func readTrace(in string) ([]ptgsched.Arrival, error) {
 	if in == "" {
-		fatal(fmt.Errorf("-in is required"))
+		return nil, fmt.Errorf("-in is required")
 	}
 	f, err := os.Open(in)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	defer f.Close()
-	arrivals, err := ptgsched.ReadWorkloadTrace(f)
-	if err != nil {
-		fatal(err)
-	}
-	return arrivals
+	return ptgsched.ReadWorkloadTrace(f)
 }
 
-func inspect(in string) {
-	arrivals := readTrace(in)
-	fmt.Printf("%-4s %10s %-28s %6s %6s %6s %12s\n",
+func inspect(w io.Writer, in string) error {
+	arrivals, err := readTrace(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-4s %10s %-28s %6s %6s %6s %12s\n",
 		"app", "arrival", "graph", "tasks", "depth", "width", "work (GF)")
 	for i, a := range arrivals {
 		s := a.Graph.ComputeStats()
-		fmt.Printf("%-4d %10.1f %-28s %6d %6d %6d %12.0f\n",
+		fmt.Fprintf(w, "%-4d %10.1f %-28s %6d %6d %6d %12.0f\n",
 			i, a.At, a.Graph.Name, s.Tasks, s.Depth, s.MaxWidth, s.TotalWorkG)
 	}
+	return nil
 }
 
-func replay(in, platformName, strategyName string, mu float64, familyName string) {
-	arrivals := readTrace(in)
+func replay(w io.Writer, in, platformName, strategyName string, mu float64, familyName string) error {
+	arrivals, err := readTrace(in)
+	if err != nil {
+		return err
+	}
 	pf, err := ptgsched.PlatformByName(platformName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	// The trace format does not record its family; -family tells the
 	// resolver which calibrated µ default applies (WPS-width differs on
 	// FFT workloads), and -mu overrides it outright.
 	family, err := ptgsched.FamilyByName(familyName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	strat, err := ptgsched.StrategyByName(strategyName, mu, family)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	res := ptgsched.ScheduleOnline(pf, arrivals, ptgsched.OnlineOptions{Strategy: strat})
-	fmt.Printf("platform: %s, strategy: %s\n\n", pf, strat)
-	fmt.Printf("%-4s %10s %10s %12s %12s\n", "app", "arrival", "start", "completion", "flow (s)")
+	fmt.Fprintf(w, "platform: %s, strategy: %s\n\n", pf, strat)
+	fmt.Fprintf(w, "%-4s %10s %10s %12s %12s\n", "app", "arrival", "start", "completion", "flow (s)")
 	var sum float64
 	for i, app := range res.Apps {
-		fmt.Printf("%-4d %10.1f %10.1f %12.1f %12.1f\n",
+		fmt.Fprintf(w, "%-4d %10.1f %10.1f %12.1f %12.1f\n",
 			i, app.SubmittedAt, app.StartedAt, app.CompletedAt, app.FlowTime())
 		sum += app.FlowTime()
 	}
-	fmt.Printf("\nmean flow time: %.1f s, last completion: %.1f s, rebalances: %d\n",
+	fmt.Fprintf(w, "\nmean flow time: %.1f s, last completion: %.1f s, rebalances: %d\n",
 		sum/float64(len(res.Apps)), res.Makespan, res.Rebalances)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ptgtrace:", err)
-	os.Exit(1)
+	return nil
 }

@@ -148,3 +148,34 @@ func ExampleNewService() {
 	// ES on Lille: 2 apps, betas [0.5 0.5]
 	// makespan 19.0 s
 }
+
+// ExampleParseCampaignSpec expands a declarative campaign spec into its
+// deterministic scenario sweep and runs one shard of it.
+func ExampleParseCampaignSpec() {
+	spec, err := ptgsched.ParseCampaignSpec([]byte(`{
+		"name": "demo",
+		"seed": 9,
+		"reps": 2,
+		"nptgs": [2, 3],
+		"platforms": ["lille"],
+		"families": [{"family": "strassen"}]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	e, err := ptgsched.ExpandCampaign(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d cells, %d points\n", len(e.Cells), len(e.Points))
+
+	shard, err := e.Shard(0, 2) // every 2nd point; run the rest elsewhere
+	if err != nil {
+		panic(err)
+	}
+	results := e.Run(shard, 1)
+	fmt.Printf("shard 0/2 ran %d points; first: %s\n", len(results), results[0].Name)
+	// Output:
+	// 1 cells, 4 points
+	// shard 0/2 ran 2 points; first: strassen/n=2/rep=0/Lille
+}

@@ -1,0 +1,50 @@
+// Package clitest is the shared golden-test harness of the cmd CLIs:
+// each command's tests capture run()'s stdout for fixed seeds and compare
+// it against checked-in testdata/*.golden files, so wire-format drift is
+// caught. `go test ./cmd/... -update` rewrites the files after an
+// intended output change.
+package clitest
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update is registered once per test binary; every cmd test package that
+// imports clitest shares it.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Run invokes a CLI's testable run function and fails the test on error,
+// returning captured stdout.
+func Run(t *testing.T, run func(args []string, stdout io.Writer) error, args ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.Bytes())
+	}
+	return buf.Bytes()
+}
+
+// CheckGolden compares got against testdata/<name>, rewriting the file
+// first under -update.
+func CheckGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"ptgsched/internal/cost"
 	"ptgsched/internal/dag"
@@ -48,6 +49,24 @@ func (m ComplexityMode) String() string {
 		return "mixed"
 	default:
 		return fmt.Sprintf("ComplexityMode(%d)", int(m))
+	}
+}
+
+// ComplexityByName parses a complexity-scenario name ("all-linear",
+// "all-nlogn", "all-matrix" or "mixed", case insensitive). It is the shared
+// resolver behind the scenario spec format.
+func ComplexityByName(name string) (ComplexityMode, error) {
+	switch strings.ToLower(name) {
+	case "all-linear":
+		return AllLinear, nil
+	case "all-nlogn":
+		return AllNLogN, nil
+	case "all-matrix":
+		return AllMatrix, nil
+	case "mixed":
+		return Mixed, nil
+	default:
+		return 0, fmt.Errorf("daggen: unknown complexity mode %q (want all-linear, all-nlogn, all-matrix or mixed)", name)
 	}
 }
 

@@ -47,6 +47,11 @@ type Config struct {
 	Labels     []string
 	// Seed makes the campaign deterministic.
 	Seed int64
+	// Gen overrides the per-graph generator. When nil, graphs are drawn
+	// with daggen.Generate(Family, r) — the paper's random parameter
+	// grids. The scenario package sets it to pin one explicit grid cell
+	// (e.g. a fixed RandomConfig or FFT size) per campaign.
+	Gen func(r *rand.Rand) *dag.Graph `json:"-"`
 	// Workers is the number of goroutines runs are fanned out over;
 	// default GOMAXPROCS. 1 (or negative) runs the campaign sequentially
 	// on the calling goroutine. Results are identical for any value.
@@ -138,36 +143,9 @@ func Run(cfg Config) *Result {
 	}
 
 	outs := make([]runOut, len(keys))
-	if cfg.Workers <= 1 {
-		// Sequential reference path: no goroutines at all.
-		for i, key := range keys {
-			outs[i] = oneRun(cfg, key)
-		}
-	} else {
-		// Fixed worker pool over an index feed. Each worker writes only
-		// outs[i] for the indices it consumes; the deterministic per-run
-		// seeding makes the fan-out invisible in the results.
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		workers := cfg.Workers
-		if workers > len(keys) {
-			workers = len(keys)
-		}
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					outs[i] = oneRun(cfg, keys[i])
-				}
-			}()
-		}
-		for i := range keys {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-	}
+	ForEach(len(keys), cfg.Workers, func(i int) {
+		outs[i] = oneRun(cfg, keys[i])
+	})
 
 	res := &Result{Config: cfg}
 	ns := len(cfg.Strategies)
@@ -208,28 +186,86 @@ func Run(cfg Config) *Result {
 	return res
 }
 
-// runSeed derives a deterministic seed for one run, independent of
+// ForEach runs fn(i) for every i in [0, n) over a fixed pool of workers
+// goroutines (workers ≤ 1 runs inline on the calling goroutine; workers = 0
+// uses GOMAXPROCS). It is the campaign worker pool shared by Run and the
+// scenario sweep runner: fn must write only state owned by its index, so
+// results are independent of the fan-out. ForEach returns when every call
+// has finished.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		// Sequential reference path: no goroutines at all.
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Fixed worker pool over an index feed. Each worker touches only the
+	// indices it consumes; deterministic per-index work makes the fan-out
+	// invisible in the results.
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if workers > n {
+		workers = n
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// RunSeed derives a deterministic seed for one run, independent of
 // execution order. The PTG combination is shared by all platforms of the
 // same (point, rep) pair, as in the paper's "25 random combinations"
 // protocol, so the platform index does not enter the seed.
-func runSeed(base int64, key runKey) int64 {
+func RunSeed(base int64, point, rep int) int64 {
 	h := uint64(base) * 0x9e3779b97f4a7c15
-	h ^= uint64(key.point+1) * 0xbf58476d1ce4e5b9
-	h ^= uint64(key.rep+1) * 0x94d049bb133111eb
+	h ^= uint64(point+1) * 0xbf58476d1ce4e5b9
+	h ^= uint64(rep+1) * 0x94d049bb133111eb
 	h ^= h >> 31
 	return int64(h)
 }
 
-// oneRun generates the PTG combination for key, measures every strategy on
-// it, and returns per-strategy unfairness, absolute and relative makespans.
-func oneRun(cfg Config, key runKey) runOut {
-	r := rand.New(rand.NewSource(runSeed(cfg.Seed, key)))
-	n := cfg.NPTGs[key.point]
+// Measurement is the outcome of one campaign run: one value per strategy.
+type Measurement struct {
+	// Unfairness is Eq. 5 per strategy.
+	Unfairness []float64
+	// Makespan is the simulated global makespan in seconds per strategy.
+	Makespan []float64
+	// Rel is each strategy's makespan divided by the run's best one.
+	Rel []float64
+}
+
+// RunOne executes the single campaign run identified by (point, rep,
+// platform) — indices into cfg.NPTGs and cfg.Platforms — on the calling
+// goroutine. Run is exactly an aggregation of RunOne over the full key
+// grid; the scenario package calls it directly to sweep spec-driven
+// expansions point by point with bit-identical results.
+func RunOne(cfg Config, point, rep, pfIdx int) Measurement {
+	r := rand.New(rand.NewSource(RunSeed(cfg.Seed, point, rep)))
+	n := cfg.NPTGs[point]
+	gen := cfg.Gen
+	if gen == nil {
+		gen = func(r *rand.Rand) *dag.Graph { return daggen.Generate(cfg.Family, r) }
+	}
 	graphs := make([]*dag.Graph, n)
 	for i := range graphs {
-		graphs[i] = daggen.Generate(cfg.Family, r)
+		graphs[i] = gen(r)
 	}
-	pf := cfg.Platforms[key.platform]
+	pf := cfg.Platforms[pfIdx]
 	sched := core.New(pf)
 
 	own := make([]float64, n)
@@ -237,19 +273,24 @@ func oneRun(cfg Config, key runKey) runOut {
 		own[i] = sched.ScheduleAlone(g)
 	}
 
-	out := runOut{
-		key:        key,
-		unfairness: make([]float64, len(cfg.Strategies)),
-		makespan:   make([]float64, len(cfg.Strategies)),
+	m := Measurement{
+		Unfairness: make([]float64, len(cfg.Strategies)),
+		Makespan:   make([]float64, len(cfg.Strategies)),
 	}
 	for s, strat := range cfg.Strategies {
 		res := sched.Schedule(graphs, strat)
 		ev := res.Evaluate(own)
-		out.unfairness[s] = ev.Unfairness
-		out.makespan[s] = ev.Makespan
+		m.Unfairness[s] = ev.Unfairness
+		m.Makespan[s] = ev.Makespan
 	}
-	out.rel = metrics.RelativeMakespans(out.makespan)
-	return out
+	m.Rel = metrics.RelativeMakespans(m.Makespan)
+	return m
+}
+
+// oneRun adapts RunOne to the keyed form Run aggregates.
+func oneRun(cfg Config, key runKey) runOut {
+	m := RunOne(cfg, key.point, key.rep, key.platform)
+	return runOut{key: key, unfairness: m.Unfairness, makespan: m.Makespan, rel: m.Rel}
 }
 
 // String summarizes a result compactly.

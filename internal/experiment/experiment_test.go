@@ -76,13 +76,10 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 
 func TestSameCombinationAcrossPlatforms(t *testing.T) {
 	// The paper schedules the same 25 PTG combinations on all 4 platforms.
-	key1 := runKey{point: 0, rep: 3, platform: 0}
-	key2 := runKey{point: 0, rep: 3, platform: 2}
-	if runSeed(42, key1) != runSeed(42, key2) {
+	if RunSeed(42, 0, 3) != RunSeed(42, 0, 3) {
 		t.Fatal("PTG combination seed differs across platforms")
 	}
-	key3 := runKey{point: 0, rep: 4, platform: 0}
-	if runSeed(42, key1) == runSeed(42, key3) {
+	if RunSeed(42, 0, 3) == RunSeed(42, 0, 4) {
 		t.Fatal("different reps share a seed")
 	}
 }

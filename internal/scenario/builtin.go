@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"ptgsched/internal/experiment"
+)
+
+// PaperSpec returns the declarative spec of one of the paper's evaluation
+// campaigns ("fig2" … "fig5"): the spec-driven form of the corresponding
+// experiment.FigNConfig. Expanding and running it reproduces that figure's
+// campaign bit-identically; the checked-in examples/campaign.json is the
+// serialized PaperSpec("fig3", 42, 25).
+func PaperSpec(name string, seed int64, reps int) (*Spec, error) {
+	s := &Spec{Name: strings.ToLower(name), Seed: seed, Reps: reps}
+	switch s.Name {
+	case "fig2":
+		// Figure 2: the µ parameter of WPS-work swept over the paper's
+		// grid on random PTGs.
+		s.Families = []FamilySpec{{Family: "random"}}
+		for _, mu := range experiment.MuSweep {
+			mu := mu
+			s.Strategies = append(s.Strategies, StrategySpec{
+				Name: "WPS-work", Mu: &mu, Label: fmt.Sprintf("mu=%.1f", mu),
+			})
+		}
+	case "fig3":
+		// Figure 3: the eight strategies on random PTGs.
+		s.Families = []FamilySpec{{Family: "random"}}
+	case "fig4":
+		// Figure 4: the eight strategies on FFT PTGs.
+		s.Families = []FamilySpec{{Family: "fft"}}
+	case "fig5":
+		// Figure 5: the six applicable strategies on Strassen PTGs.
+		s.Families = []FamilySpec{{Family: "strassen"}}
+	default:
+		return nil, fmt.Errorf("scenario: unknown paper campaign %q (want fig2, fig3, fig4 or fig5)", name)
+	}
+	return s, nil
+}

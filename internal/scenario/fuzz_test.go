@@ -1,0 +1,111 @@
+package scenario
+
+// FuzzScheduleInvariants is the property-based schedule-invariant suite:
+// arbitrary fuzzer-chosen scenario points (platform, family, batch size,
+// seed, arrival process) are driven through every registered strategy, and
+// every resulting schedule — offline and online — must pass the full
+// trace oracle: placement uniqueness, allotment bounds, per-processor
+// exclusivity, per-cluster capacity, precedence with redistribution
+// delays, and (online) release-time respect. The checked-in corpus under
+// testdata/fuzz covers every platform topology, family and arrival
+// process; `go test` replays it on every run, `go test -fuzz` explores
+// beyond it.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ptgsched/internal/core"
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/online"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/strategy"
+	"ptgsched/internal/trace"
+	"ptgsched/internal/workload"
+)
+
+// fuzzPlatform maps a selector onto the four Grid'5000 presets plus a
+// deliberately skewed heterogeneous platform (tiny fast cluster next to a
+// large slow one, per-cluster switches).
+func fuzzPlatform(sel uint8) *platform.Platform {
+	switch sel % 5 {
+	case 0:
+		return platform.Lille()
+	case 1:
+		return platform.Nancy()
+	case 2:
+		return platform.Rennes()
+	case 3:
+		return platform.Sophia()
+	default:
+		return platform.New("skewed", false,
+			platform.ClusterSpec{Name: "hare", Procs: 4, Speed: 12.0},
+			platform.ClusterSpec{Name: "herd", Procs: 96, Speed: 1.5},
+		)
+	}
+}
+
+func FuzzScheduleInvariants(f *testing.F) {
+	// One seed input per platform topology × family × arrival process
+	// corner, mirrored by the checked-in corpus.
+	f.Add(int64(1), uint8(0), uint8(0), uint8(2), uint8(0), 0.25)
+	f.Add(int64(42), uint8(2), uint8(1), uint8(4), uint8(1), 0.25)
+	f.Add(int64(7), uint8(4), uint8(2), uint8(3), uint8(2), 2.0)
+	f.Add(int64(-3), uint8(1), uint8(0), uint8(1), uint8(1), 0.05)
+	f.Add(int64(1e12), uint8(3), uint8(1), uint8(5), uint8(0), 0.5)
+
+	f.Fuzz(func(t *testing.T, seed int64, pfSel, famSel, nSel, procSel uint8, rate float64) {
+		pf := fuzzPlatform(pfSel)
+		fam := daggen.Family(int(famSel) % 3)
+		n := 1 + int(nSel)%5
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0.01 || rate > 100 {
+			rate = 0.25
+		}
+		process := workload.Process(int(procSel) % 3)
+
+		// Offline: one concurrently-submitted batch per strategy.
+		r := rand.New(rand.NewSource(seed))
+		graphs := make([]*dag.Graph, n)
+		for i := range graphs {
+			graphs[i] = daggen.Generate(fam, r)
+		}
+		sched := core.New(pf)
+		for _, name := range strategy.Names() {
+			strat, err := strategy.ByName(name, -1, fam)
+			if err != nil {
+				t.Fatalf("registry broke: %v", err)
+			}
+			res := sched.Schedule(graphs, strat)
+			if err := trace.Validate(res.Schedule); err != nil {
+				t.Fatalf("offline %s on %s (fam=%s n=%d seed=%d): %v",
+					name, pf.Name, fam, n, seed, err)
+			}
+		}
+
+		// Online: the same scenario as a dynamic-arrival workload; every
+		// placement must also respect its application's release time.
+		r = rand.New(rand.NewSource(seed))
+		arrivals := workload.Generate(workload.Spec{
+			Family: fam, Count: n, Process: process, Rate: rate,
+		}, r)
+		onGraphs := make([]*dag.Graph, len(arrivals))
+		releases := make([]float64, len(arrivals))
+		for i, a := range arrivals {
+			onGraphs[i] = a.Graph
+			releases[i] = a.At
+		}
+		for _, name := range strategy.Names() {
+			strat, err := strategy.ByName(name, -1, fam)
+			if err != nil {
+				t.Fatalf("registry broke: %v", err)
+			}
+			res := online.Schedule(pf, arrivals, online.Options{Strategy: strat})
+			if err := trace.ValidatePlacements(pf, onGraphs, res.Placements, releases); err != nil {
+				t.Fatalf("online %s on %s (fam=%s n=%d proc=%s rate=%g seed=%d): %v",
+					name, pf.Name, fam, n, process, rate, seed, err)
+			}
+		}
+	})
+}

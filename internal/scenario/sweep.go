@@ -1,0 +1,303 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ptgsched/internal/dag"
+	"ptgsched/internal/daggen"
+	"ptgsched/internal/experiment"
+	"ptgsched/internal/metrics"
+	"ptgsched/internal/online"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/workload"
+)
+
+// PointResult is one scenario point's measurement: one value per strategy
+// of the point's cell. It is the JSONL wire record of sharded sweeps;
+// encoding/json round-trips its float64 values bit-exactly, so shards can
+// be recombined without loss.
+type PointResult struct {
+	Index int    `json:"index"`
+	Cell  int    `json:"cell"`
+	Name  string `json:"name"`
+	// Unfairness is Eq. 5 per strategy (for online cells, the analogous
+	// mean-normalized flow-time deviation).
+	Unfairness []float64 `json:"unfairness"`
+	// Makespan is the global makespan per strategy in seconds (for online
+	// cells, the completion time of the last application).
+	Makespan []float64 `json:"makespan"`
+	// Rel is each strategy's makespan divided by the point's best one.
+	Rel []float64 `json:"rel"`
+}
+
+// RunPoint executes one scenario point on the calling goroutine.
+func (e *Expansion) RunPoint(p Point) PointResult {
+	c := e.Cells[p.Cell]
+	if c.Online == nil {
+		m := experiment.RunOne(c.Config, p.NIdx, p.Rep, p.Platform)
+		return PointResult{
+			Index: p.Index, Cell: p.Cell, Name: p.Name,
+			Unfairness: m.Unfairness, Makespan: m.Makespan, Rel: m.Rel,
+		}
+	}
+	return e.runOnlinePoint(c, p)
+}
+
+// runOnlinePoint measures one dynamic-arrivals point: a workload drawn
+// from the point's seed is replayed under every strategy of the cell.
+func (e *Expansion) runOnlinePoint(c *Cell, p Point) PointResult {
+	r := rand.New(rand.NewSource(p.Seed))
+	arrivals := workload.Generate(workload.Spec{
+		Family:  c.Family,
+		Count:   p.NPTGs,
+		Process: c.Online.Process,
+		Rate:    c.Online.Rate,
+		Gen:     c.Config.Gen,
+	}, r)
+
+	out := PointResult{
+		Index: p.Index, Cell: p.Cell, Name: p.Name,
+		Unfairness: make([]float64, len(c.Config.Strategies)),
+		Makespan:   make([]float64, len(c.Config.Strategies)),
+	}
+	pf := e.Platforms[p.Platform]
+	for s, strat := range c.Config.Strategies {
+		res := online.Schedule(pf, arrivals, online.Options{Strategy: strat})
+		flows := make([]float64, len(res.Apps))
+		for i, app := range res.Apps {
+			flows[i] = app.FlowTime()
+		}
+		out.Makespan[s] = res.Makespan
+		out.Unfairness[s] = flowUnfairness(flows)
+	}
+	out.Rel = metrics.RelativeMakespans(out.Makespan)
+	return out
+}
+
+// flowUnfairness is the online analog of Eq. 5: flow times are normalized
+// by their mean (the role M_own plays offline is not defined for dynamic
+// arrivals) and the absolute deviations from 1 are summed.
+func flowUnfairness(flows []float64) float64 {
+	mean := metrics.Mean(flows)
+	if mean <= 0 {
+		return 0
+	}
+	u := 0.0
+	for _, f := range flows {
+		u += math.Abs(f/mean - 1)
+	}
+	return u
+}
+
+// Run executes the given points (all of them, or one shard) over a fixed
+// pool of workers goroutines (0 = GOMAXPROCS, ≤1 = inline) and returns
+// their results in point order. Results are bit-identical at every worker
+// count: each point derives its whole scenario from its own seed.
+func (e *Expansion) Run(points []Point, workers int) []PointResult {
+	outs := make([]PointResult, len(points))
+	experiment.ForEach(len(points), workers, func(i int) {
+		outs[i] = e.RunPoint(points[i])
+	})
+	return outs
+}
+
+// WriteJSONL streams results as JSON Lines: one compact PointResult object
+// per line, the shard interchange format.
+func WriteJSONL(w io.Writer, results []PointResult) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range results {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads results written by WriteJSONL; blank lines are skipped,
+// so concatenated shard files read back directly.
+func ReadJSONL(r io.Reader) ([]PointResult, error) {
+	var out []PointResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var pr PointResult
+		if err := json.Unmarshal(text, &pr); err != nil {
+			return nil, fmt.Errorf("scenario: jsonl line %d: %w", line, err)
+		}
+		out = append(out, pr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table is one cell's aggregated campaign outcome: Result carries the
+// paper's summary metrics (one point per NPTGs value, one column per
+// strategy) and renders through the experiment package's table and CSV
+// writers.
+type Table struct {
+	Cell   *Cell
+	Result *experiment.Result
+}
+
+// Aggregate reduces a complete result set — one unsharded run, or the
+// recombined outputs of all shards — into per-cell summary tables. The
+// reduction visits results in global point order regardless of the order
+// (or shard) they arrive in, so recombined shards aggregate bit-identically
+// to an unsharded run; it is also exactly experiment.Run's reduction, so a
+// spec mirroring a paper figure reproduces that figure's numbers.
+// Incomplete or duplicated result sets are rejected.
+func (e *Expansion) Aggregate(results []PointResult) ([]Table, error) {
+	if len(results) != len(e.Points) {
+		return nil, fmt.Errorf("scenario: %d results for %d points (missing shards?)",
+			len(results), len(e.Points))
+	}
+	ordered := make([]*PointResult, len(e.Points))
+	for i := range results {
+		r := &results[i]
+		if r.Index < 0 || r.Index >= len(e.Points) {
+			return nil, fmt.Errorf("scenario: result index %d outside expansion", r.Index)
+		}
+		if ordered[r.Index] != nil {
+			return nil, fmt.Errorf("scenario: duplicate result for point %d", r.Index)
+		}
+		if r.Cell != e.Points[r.Index].Cell {
+			return nil, fmt.Errorf("scenario: result %d is for cell %d, expansion says %d (stale shard?)",
+				r.Index, r.Cell, e.Points[r.Index].Cell)
+		}
+		ordered[r.Index] = r
+	}
+
+	// Group results by (cell, NPTGs index) in one pass over the global
+	// point order, so the per-group reduction below visits them in exactly
+	// experiment.Run's order without rescanning e.Points per group.
+	nNPTGs := 0
+	if len(e.Cells) > 0 {
+		nNPTGs = len(e.Cells[0].Config.NPTGs)
+	}
+	groups := make([][]*PointResult, len(e.Cells)*nNPTGs)
+	for _, p := range e.Points {
+		g := p.Cell*nNPTGs + p.NIdx
+		groups[g] = append(groups[g], ordered[p.Index])
+	}
+
+	var tables []Table
+	for _, c := range e.Cells {
+		cfg := c.Config
+		ns := len(cfg.Strategies)
+		res := &experiment.Result{Config: cfg}
+		for ni, n := range cfg.NPTGs {
+			perStratUnf := make([][]float64, ns)
+			perStratMak := make([][]float64, ns)
+			perStratRel := make([][]float64, ns)
+			runs := 0
+			for _, r := range groups[c.Index*nNPTGs+ni] {
+				if len(r.Unfairness) != ns || len(r.Makespan) != ns || len(r.Rel) != ns {
+					return nil, fmt.Errorf("scenario: result %d has wrong strategy count", r.Index)
+				}
+				runs++
+				for s := 0; s < ns; s++ {
+					perStratUnf[s] = append(perStratUnf[s], r.Unfairness[s])
+					perStratMak[s] = append(perStratMak[s], r.Makespan[s])
+					perStratRel[s] = append(perStratRel[s], r.Rel[s])
+				}
+			}
+			pt := experiment.Point{
+				NPTGs:          n,
+				Unfairness:     make([]float64, ns),
+				AvgMakespan:    make([]float64, ns),
+				RelMakespan:    make([]float64, ns),
+				UnfairnessStd:  make([]float64, ns),
+				RelMakespanStd: make([]float64, ns),
+				Runs:           runs,
+			}
+			for s := 0; s < ns; s++ {
+				pt.Unfairness[s] = metrics.Mean(perStratUnf[s])
+				pt.AvgMakespan[s] = metrics.Mean(perStratMak[s])
+				pt.RelMakespan[s] = metrics.Mean(perStratRel[s])
+				pt.UnfairnessStd[s] = metrics.StdDev(perStratUnf[s])
+				pt.RelMakespanStd[s] = metrics.StdDev(perStratRel[s])
+			}
+			res.Points = append(res.Points, pt)
+		}
+		tables = append(tables, Table{Cell: c, Result: res})
+	}
+	return tables, nil
+}
+
+// SortResults orders results by point index in place (shard files may be
+// merged in any order before aggregation; Aggregate does not require it,
+// but sorted JSONL diffs cleanly).
+func SortResults(results []PointResult) {
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+}
+
+// FindPoint resolves a point by canonical name or decimal global index.
+func (e *Expansion) FindPoint(key string) (Point, error) {
+	var idx int
+	if _, err := fmt.Sscanf(key, "%d", &idx); err == nil && fmt.Sprintf("%d", idx) == key {
+		if idx < 0 || idx >= len(e.Points) {
+			return Point{}, fmt.Errorf("scenario: point index %d outside [0,%d)", idx, len(e.Points))
+		}
+		return e.Points[idx], nil
+	}
+	for _, p := range e.Points {
+		if p.Name == key {
+			return p, nil
+		}
+	}
+	return Point{}, fmt.Errorf("scenario: no point named %q (try an index in [0,%d) or a name like %q)",
+		key, len(e.Points), e.Points[0].Name)
+}
+
+// Materialize regenerates a point's scenario inputs — the platform and the
+// deterministic PTG batch (with arrival times for online cells, all zero
+// otherwise) — so callers like ptgsim can rerun and inspect a single point
+// in depth. The graphs are fresh instances owned by the caller; the cell
+// (strategies, labels, family) is e.Cells[p.Cell].
+func (e *Expansion) Materialize(p Point) (pf *platform.Platform, graphs []*dag.Graph, releases []float64) {
+	c := e.Cells[p.Cell]
+	r := rand.New(rand.NewSource(p.Seed))
+	gen := c.Config.Gen
+	if gen == nil {
+		fam := c.Family
+		gen = func(r *rand.Rand) *dag.Graph { return daggen.Generate(fam, r) }
+	}
+	releases = make([]float64, p.NPTGs)
+	if c.Online == nil {
+		graphs = make([]*dag.Graph, p.NPTGs)
+		for i := range graphs {
+			graphs[i] = gen(r)
+		}
+	} else {
+		arrivals := workload.Generate(workload.Spec{
+			Family:  c.Family,
+			Count:   p.NPTGs,
+			Process: c.Online.Process,
+			Rate:    c.Online.Rate,
+			Gen:     c.Config.Gen,
+		}, r)
+		graphs = make([]*dag.Graph, len(arrivals))
+		for i, a := range arrivals {
+			graphs[i] = a.Graph
+			releases[i] = a.At
+		}
+	}
+	return e.Platforms[p.Platform], graphs, releases
+}

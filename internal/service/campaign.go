@@ -1,0 +1,231 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"ptgsched/internal/scenario"
+)
+
+// Campaign caps. A service worker runs a whole campaign request as one
+// job, so the expansion must stay queue-friendly; larger sweeps are run
+// shard by shard (each request executing only its shard's points) or
+// offline with ptgbench -campaign.
+const (
+	// MaxCampaignPoints bounds the scenario points one request may
+	// execute.
+	MaxCampaignPoints = 2048
+	// MaxCampaignNPTGs bounds the per-point batch size, matching the
+	// schedule endpoint's count cap.
+	MaxCampaignNPTGs = 64
+	// MaxCampaignProcs bounds one inline cluster's processor count (the
+	// mapper allocates per-processor state for every run).
+	MaxCampaignProcs = 4096
+	// MaxCampaignClusters bounds one inline platform's cluster count.
+	MaxCampaignClusters = 64
+	// MaxCampaignExpansion bounds the total expansion a request may ask
+	// the server to materialize, sharded or not: resolve() runs on the
+	// caller's goroutine, outside the queue, so even a 1/n shard of a
+	// huge sweep must not hold the whole point list in server memory.
+	MaxCampaignExpansion = 65536
+	// MaxCampaignStrategies bounds the comparison set: every strategy
+	// entry multiplies the per-point work, so it is part of the budget.
+	MaxCampaignStrategies = 64
+)
+
+// CampaignRequest describes one declarative campaign sweep: an inline
+// scenario spec (the scenario package's JSON format, also the format of
+// the checked-in specs under examples/) and an optional shard selector.
+type CampaignRequest struct {
+	// Spec is the campaign spec. Unknown fields are rejected.
+	Spec json.RawMessage `json:"spec"`
+	// Shard, when set to "i/n", executes only that shard's points and
+	// returns their per-point results (the JSONL records) instead of
+	// aggregated tables; a client recombines shards with ptgbench
+	// -campaign -merge or scenario.Aggregate.
+	Shard string `json:"shard,omitempty"`
+	// Workers bounds the sweep's intra-request parallelism; default 1 (a
+	// campaign occupies one service worker; raise it only on services
+	// sized for it). The server clamps it to GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// CampaignRow is one aggregated summary row: one NPTGs value of a cell,
+// one entry per strategy.
+type CampaignRow struct {
+	NPTGs int `json:"nptgs"`
+	// Runs is the number of scenario points aggregated into the row.
+	Runs           int       `json:"runs"`
+	Unfairness     []float64 `json:"unfairness"`
+	AvgMakespan    []float64 `json:"avg_makespan"`
+	RelMakespan    []float64 `json:"rel_makespan"`
+	UnfairnessStd  []float64 `json:"unfairness_std"`
+	RelMakespanStd []float64 `json:"rel_makespan_std"`
+}
+
+// CampaignTable is one cell's aggregated summary.
+type CampaignTable struct {
+	// Cell is the cell label, e.g. "random[t=20 w=0.5 r=0.2 d=0.8 j=1 mixed]".
+	Cell   string        `json:"cell"`
+	Family string        `json:"family"`
+	Labels []string      `json:"labels"`
+	Rows   []CampaignRow `json:"rows"`
+}
+
+// CampaignResponse reports one campaign request: aggregated tables for a
+// full sweep, per-point results for a shard.
+type CampaignResponse struct {
+	Name string `json:"name,omitempty"`
+	// Points is the size of the full expansion; RunPoints the number this
+	// request executed (smaller for shards).
+	Points    int    `json:"points"`
+	RunPoints int    `json:"run_points"`
+	Shard     string `json:"shard,omitempty"`
+	// Tables carries the aggregated summary (unsharded requests).
+	Tables []CampaignTable `json:"tables,omitempty"`
+	// Results carries per-point results (sharded requests), bit-exact
+	// JSONL records.
+	Results   []scenario.PointResult `json:"results,omitempty"`
+	ElapsedMS float64                `json:"elapsed_ms"`
+}
+
+// campaignScenario is a CampaignRequest resolved and expanded.
+type campaignScenario struct {
+	expansion *scenario.Expansion
+	points    []scenario.Point
+	shard     string
+	workers   int
+}
+
+// resolve parses, validates and expands the request on the caller's
+// goroutine, so malformed or oversized campaigns fail fast without a
+// queue slot.
+func (r CampaignRequest) resolve() (campaignScenario, error) {
+	var cs campaignScenario
+	if len(r.Spec) == 0 {
+		return cs, fmt.Errorf("service: campaign request needs a spec")
+	}
+	spec, err := scenario.ParseSpec(r.Spec)
+	if err != nil {
+		return cs, err
+	}
+	for _, n := range spec.NPTGs {
+		if n > MaxCampaignNPTGs {
+			return cs, fmt.Errorf("service: nptgs value %d above cap %d", n, MaxCampaignNPTGs)
+		}
+	}
+	if len(spec.Strategies) > MaxCampaignStrategies {
+		return cs, fmt.Errorf("service: %d strategies, cap is %d", len(spec.Strategies), MaxCampaignStrategies)
+	}
+	for _, ps := range spec.PlatformSpecs {
+		if len(ps.Clusters) > MaxCampaignClusters {
+			return cs, fmt.Errorf("service: platform %q has %d clusters, cap is %d",
+				ps.Name, len(ps.Clusters), MaxCampaignClusters)
+		}
+		for _, c := range ps.Clusters {
+			if c.Procs > MaxCampaignProcs {
+				return cs, fmt.Errorf("service: platform %q cluster %q has %d processors, cap is %d",
+					ps.Name, c.Name, c.Procs, MaxCampaignProcs)
+			}
+		}
+	}
+
+	// Reject oversized sweeps arithmetically before the expansion
+	// materializes anything: the shard selector divides the executed
+	// share, so it enters the budget check, not the expansion.
+	shardN := 1
+	var shardIdx int
+	if r.Shard != "" {
+		if shardIdx, shardN, err = scenario.ParseShard(r.Shard); err != nil {
+			return cs, err
+		}
+	}
+	if _, points, err := scenario.EstimatePoints(spec); err != nil {
+		return cs, err
+	} else if points > MaxCampaignExpansion {
+		return cs, fmt.Errorf("service: campaign expands to %d points, server cap is %d even sharded (use ptgbench -campaign for larger sweeps)",
+			points, MaxCampaignExpansion)
+	} else if points > MaxCampaignPoints*shardN {
+		return cs, fmt.Errorf("service: campaign would execute ~%d points per shard, cap is %d (shard it further, or use ptgbench -campaign)",
+			points/shardN, MaxCampaignPoints)
+	}
+
+	e, err := scenario.Expand(spec)
+	if err != nil {
+		return cs, err
+	}
+	pts := e.Points
+	if r.Shard != "" {
+		if pts, err = e.Shard(shardIdx, shardN); err != nil {
+			return cs, err
+		}
+	}
+	if len(pts) > MaxCampaignPoints {
+		return cs, fmt.Errorf("service: campaign executes %d points, cap is %d (shard it, or use ptgbench -campaign)",
+			len(pts), MaxCampaignPoints)
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	cs = campaignScenario{expansion: e, points: pts, shard: r.Shard, workers: workers}
+	return cs, nil
+}
+
+// Campaign runs one declarative campaign sweep through the worker pool.
+// It is safe for concurrent use.
+func (s *Service) Campaign(ctx context.Context, req CampaignRequest) (*CampaignResponse, error) {
+	cs, err := req.resolve()
+	if err != nil {
+		return nil, s.invalid(err)
+	}
+	resp, err := s.submit(ctx, "campaign", func() (any, error) {
+		started := time.Now()
+		results := cs.expansion.Run(cs.points, cs.workers)
+		out := &CampaignResponse{
+			Name:      cs.expansion.Spec.Name,
+			Points:    len(cs.expansion.Points),
+			RunPoints: len(cs.points),
+			Shard:     cs.shard,
+		}
+		if cs.shard == "" {
+			tables, err := cs.expansion.Aggregate(results)
+			if err != nil {
+				return nil, err
+			}
+			for _, tb := range tables {
+				ct := CampaignTable{
+					Cell:   tb.Cell.Label,
+					Family: tb.Cell.Family.String(),
+					Labels: tb.Result.Config.Labels,
+				}
+				for _, pt := range tb.Result.Points {
+					ct.Rows = append(ct.Rows, CampaignRow{
+						NPTGs:          pt.NPTGs,
+						Runs:           pt.Runs,
+						Unfairness:     pt.Unfairness,
+						AvgMakespan:    pt.AvgMakespan,
+						RelMakespan:    pt.RelMakespan,
+						UnfairnessStd:  pt.UnfairnessStd,
+						RelMakespanStd: pt.RelMakespanStd,
+					})
+				}
+				out.Tables = append(out.Tables, ct)
+			}
+		} else {
+			out.Results = results
+		}
+		out.ElapsedMS = float64(time.Since(started).Microseconds()) / 1e3
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(*CampaignResponse), nil
+}

@@ -1,0 +1,161 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ptgsched/internal/scenario"
+	"ptgsched/internal/service"
+)
+
+// smallCampaignSpec is a fast deterministic sweep: 1 platform × 2 NPTGs ×
+// 2 reps on Strassen PTGs = 8 points.
+const smallCampaignSpec = `{
+	"name": "smoke",
+	"seed": 9,
+	"reps": 2,
+	"nptgs": [2, 3],
+	"platforms": ["lille"],
+	"families": [{"family": "strassen"}]
+}`
+
+func TestCampaignEndToEnd(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1})
+	resp, err := s.Campaign(context.Background(), service.CampaignRequest{
+		Spec: json.RawMessage(smallCampaignSpec),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "smoke" || resp.Points != 4 || resp.RunPoints != 4 {
+		t.Fatalf("bad response header: %+v", resp)
+	}
+	if len(resp.Tables) != 1 || len(resp.Results) != 0 {
+		t.Fatalf("unsharded campaign: %d tables, %d results", len(resp.Tables), len(resp.Results))
+	}
+	tb := resp.Tables[0]
+	if tb.Family != "strassen" || len(tb.Rows) != 2 || len(tb.Labels) != 6 {
+		t.Fatalf("bad table: %+v", tb)
+	}
+	for _, row := range tb.Rows {
+		if row.Runs != 2 {
+			t.Fatalf("row aggregates %d runs, want 2", row.Runs)
+		}
+		for s, m := range row.AvgMakespan {
+			if m <= 0 {
+				t.Fatalf("row n=%d strategy %d makespan %g", row.NPTGs, s, m)
+			}
+		}
+	}
+
+	// The same request again is deterministic.
+	again, err := s.Campaign(context.Background(), service.CampaignRequest{
+		Spec: json.RawMessage(smallCampaignSpec),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Tables, again.Tables) {
+		t.Fatal("campaign response not deterministic")
+	}
+}
+
+func TestCampaignShardsRecombineThroughService(t *testing.T) {
+	s := newService(t, service.Options{Workers: 2})
+	full, err := s.Campaign(context.Background(), service.CampaignRequest{
+		Spec: json.RawMessage(smallCampaignSpec),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var merged []scenario.PointResult
+	for _, shard := range []string{"1/2", "0/2"} {
+		resp, err := s.Campaign(context.Background(), service.CampaignRequest{
+			Spec:  json.RawMessage(smallCampaignSpec),
+			Shard: shard,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Tables) != 0 || len(resp.Results) == 0 || resp.Shard != shard {
+			t.Fatalf("shard response shape: %+v", resp)
+		}
+		merged = append(merged, resp.Results...)
+	}
+
+	spec, err := scenario.ParseSpec([]byte(smallCampaignSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := scenario.Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Aggregate(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tables[0].Result.Points[0].Unfairness, full.Tables[0].Rows[0].Unfairness) {
+		t.Fatal("recombined shards differ from the unsharded service run")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1})
+	cases := []struct {
+		name string
+		req  service.CampaignRequest
+	}{
+		{"missing spec", service.CampaignRequest{}},
+		{"unknown field", service.CampaignRequest{Spec: json.RawMessage(`{"repz": 1}`)}},
+		{"bad family", service.CampaignRequest{Spec: json.RawMessage(`{"families": [{"family": "weird"}]}`)}},
+		{"nptgs cap", service.CampaignRequest{Spec: json.RawMessage(`{"nptgs": [65]}`)}},
+		{"points cap", service.CampaignRequest{Spec: json.RawMessage(`{"reps": 200}`)}},
+		{"grid explosion", service.CampaignRequest{Spec: json.RawMessage(
+			`{"families": [{"family": "random", "tasks": {"from": 1, "to": 5000, "step": 1}, "widths": {"from": 0.001, "to": 1, "step": 0.001}}]}`)}},
+		{"procs cap", service.CampaignRequest{Spec: json.RawMessage(
+			`{"platform_specs": [{"name": "x", "clusters": [{"name": "c", "procs": 2000000000, "speed": 1}]}]}`)}},
+		{"bad shard", service.CampaignRequest{Spec: json.RawMessage(smallCampaignSpec), Shard: "9/4"}},
+		{"expansion cap even sharded", service.CampaignRequest{
+			Spec: json.RawMessage(`{"reps": 4000}`), Shard: "0/100"}},
+		{"strategy cap", service.CampaignRequest{Spec: json.RawMessage(
+			`{"reps": 1, "nptgs": [2], "platforms": ["lille"], "strategies": [` +
+				strings.Repeat(`{"name": "S"},`, 70) + `{"name": "ES"}]}`)}},
+		{"trailing shard garbage", service.CampaignRequest{Spec: json.RawMessage(smallCampaignSpec), Shard: "0/2junk"}},
+	}
+	for _, tc := range cases {
+		_, err := s.Campaign(context.Background(), tc.req)
+		var verr *service.ValidationError
+		if !errors.As(err, &verr) {
+			t.Errorf("%s: error %v, want ValidationError", tc.name, err)
+		}
+	}
+}
+
+func TestCampaignOverHTTP(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1})
+	h := service.Handler(s)
+	w := postJSON(t, h, "/v1/campaign", service.CampaignRequest{
+		Spec: json.RawMessage(smallCampaignSpec),
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp service.CampaignResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables) != 1 || resp.Points != 4 {
+		t.Fatalf("wire response: %+v", resp)
+	}
+	st := s.Stats()
+	if st.CompletedByKind["campaign"] != 1 {
+		t.Fatalf("campaign completions not counted: %+v", st.CompletedByKind)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 )
 
 // Handler exposes a Service over HTTP+JSON, the wire surface of the
@@ -15,14 +16,18 @@ import (
 //	POST /v1/schedule  — ScheduleRequest  → ScheduleResponse
 //	POST /v1/online    — OnlineRequest    → OnlineResponse
 //	POST /v1/workload  — WorkloadRequest  → WorkloadResponse
+//	POST /v1/campaign  — CampaignRequest  → CampaignResponse
 //	GET  /v1/stats     — Stats snapshot as JSON
 //	GET  /metrics      — the same counters in Prometheus text format
 //	GET  /healthz      — liveness probe
 //
 // Error mapping: validation failures → 400, a full queue → 429 with a
 // Retry-After hint, a request timeout → 504, a closed service → 503, and a
-// pipeline failure → 500. The handler is safe for concurrent use, like the
-// Service beneath it.
+// pipeline failure → 500. Every error — including the mux's own 404/405
+// responses — carries the same JSON envelope {"error": ..., "code": ...}
+// with a stable machine-readable code; clients never see plain-text error
+// bodies. The handler is safe for concurrent use, like the Service
+// beneath it.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
@@ -46,6 +51,13 @@ func Handler(s *Service) http.Handler {
 		}
 		respond(w, func(ctx context.Context) (any, error) { return s.Workload(ctx, req) }, r)
 	})
+	mux.HandleFunc("POST /v1/campaign", func(w http.ResponseWriter, r *http.Request) {
+		var req CampaignRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		respond(w, func(ctx context.Context) (any, error) { return s.Campaign(ctx, req) }, r)
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -56,16 +68,34 @@ func Handler(s *Service) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return normalizeErrors(mux)
 }
 
+// Error codes of the JSON error envelope, stable across releases.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeValidation       = "validation"
+	CodeQueueFull        = "queue_full"
+	CodeClosed           = "closed"
+	CodeTimeout          = "timeout"
+	CodeCanceled         = "canceled"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeInternal         = "internal"
+)
+
+// maxBodyBytes bounds a request body (1 MiB): the largest legitimate
+// payload is a campaign spec, and even a maximal one is a few KB.
+const maxBodyBytes = 1 << 20
+
 // decode parses the JSON body into req, rejecting unknown fields so typos
-// in request payloads fail loudly instead of silently using defaults.
+// in request payloads fail loudly instead of silently using defaults, and
+// bounding the body size so a hostile payload cannot balloon server memory.
 func decode(w http.ResponseWriter, r *http.Request, req any) bool {
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}
 	return true
@@ -75,35 +105,37 @@ func decode(w http.ResponseWriter, r *http.Request, req any) bool {
 func respond(w http.ResponseWriter, run func(context.Context) (any, error), r *http.Request) {
 	resp, err := run(r.Context())
 	if err != nil {
-		status := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, CodeInternal
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			status = http.StatusTooManyRequests
+			status, code = http.StatusTooManyRequests, CodeQueueFull
 			w.Header().Set("Retry-After", "1")
 		case errors.Is(err, ErrClosed):
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, CodeClosed
 		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, CodeTimeout
 		case errors.Is(err, context.Canceled):
 			// The client went away; the status is moot but 499-style
 			// semantics map best onto 408 here.
-			status = http.StatusRequestTimeout
+			status, code = http.StatusRequestTimeout, CodeCanceled
 		case errors.As(err, new(*ValidationError)):
-			status = http.StatusBadRequest
+			status, code = http.StatusBadRequest, CodeValidation
 		}
-		writeError(w, status, err)
+		writeError(w, status, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope every failing response carries:
+// the human-readable message plus a stable machine-readable code.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -112,6 +144,65 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// normalizeErrors wraps a handler so error responses it writes as plain
+// text — the mux's own 404 and 405 replies, or any stray http.Error — are
+// rewritten into the JSON error envelope. Responses that already carry a
+// JSON body (ours) pass through untouched.
+func normalizeErrors(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&errorRewriter{ResponseWriter: w}, r)
+	})
+}
+
+// errorRewriter intercepts WriteHeader: a ≥ 400 status about to go out
+// with a non-JSON content type is replaced by the JSON envelope, and the
+// original plain-text body is swallowed.
+type errorRewriter struct {
+	http.ResponseWriter
+	rewrote     bool
+	wroteHeader bool
+}
+
+func (w *errorRewriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		w.ResponseWriter.WriteHeader(status)
+		return
+	}
+	w.wroteHeader = true
+	ct := w.Header().Get("Content-Type")
+	if status < 400 || strings.HasPrefix(ct, "application/json") {
+		w.ResponseWriter.WriteHeader(status)
+		return
+	}
+	w.rewrote = true
+	code := CodeInternal
+	switch status {
+	case http.StatusNotFound:
+		code = CodeNotFound
+	case http.StatusMethodNotAllowed:
+		code = CodeMethodNotAllowed
+	case http.StatusBadRequest:
+		code = CodeBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Del("X-Content-Type-Options")
+	w.ResponseWriter.WriteHeader(status)
+	body, _ := json.MarshalIndent(errorBody{Error: http.StatusText(status), Code: code}, "", "  ")
+	w.ResponseWriter.Write(append(body, '\n'))
+}
+
+// Write swallows the plain-text body of a rewritten error; everything else
+// streams through (an implicit 200 header is written first, as usual).
+func (w *errorRewriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.rewrote {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // writeMetrics renders the stats snapshot in Prometheus text exposition

@@ -1,0 +1,168 @@
+package service_test
+
+// The HTTP error matrix: every failing response — whichever layer
+// produces it, including the mux's own 404/405 — must carry the JSON
+// envelope {"error": ..., "code": ...} with the right status and a stable
+// machine-readable code. No plain-text error bodies on the wire.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ptgsched/internal/service"
+)
+
+// errorEnvelope decodes a response body that must be the JSON envelope.
+func errorEnvelope(t *testing.T, w *httptest.ResponseRecorder) (msg, code string) {
+	t.Helper()
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("error response content type %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body %q is not the JSON envelope: %v", w.Body, err)
+	}
+	if body.Error == "" || body.Code == "" {
+		t.Fatalf("error envelope incomplete: %q", w.Body)
+	}
+	return body.Error, body.Code
+}
+
+func do(h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHTTPErrorMatrix400(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1})
+	h := service.Handler(s)
+
+	// Validation failure inside the service.
+	w := do(h, http.MethodPost, "/v1/schedule", `{"platform": "mars"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	if _, code := errorEnvelope(t, w); code != service.CodeValidation {
+		t.Fatalf("code %q, want %q", code, service.CodeValidation)
+	}
+
+	// Malformed body fails before the service.
+	w = do(h, http.MethodPost, "/v1/online", `{"platfrom": "rennes"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+	if _, code := errorEnvelope(t, w); code != service.CodeBadRequest {
+		t.Fatalf("code %q, want %q", code, service.CodeBadRequest)
+	}
+}
+
+func TestHTTPErrorMatrix404And405(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1})
+	h := service.Handler(s)
+
+	w := do(h, http.MethodGet, "/v1/nothing", "")
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", w.Code)
+	}
+	if _, code := errorEnvelope(t, w); code != service.CodeNotFound {
+		t.Fatalf("code %q, want %q", code, service.CodeNotFound)
+	}
+
+	w = do(h, http.MethodGet, "/v1/schedule", "")
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", w.Code)
+	}
+	if _, code := errorEnvelope(t, w); code != service.CodeMethodNotAllowed {
+		t.Fatalf("code %q, want %q", code, service.CodeMethodNotAllowed)
+	}
+}
+
+func TestHTTPErrorMatrix429(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1, QueueDepth: 1})
+	h := service.Handler(s)
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	release := make(chan struct{})
+	defer close(release)
+	submitBlocking := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.SubmitTestJob(context.Background(), release); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	submitBlocking()
+	waitStats(t, s, func(st service.Stats) bool { return st.InFlight == 1 })
+	submitBlocking()
+	waitStats(t, s, func(st service.Stats) bool { return st.InFlight == 1 && st.Queued == 1 })
+
+	w := do(h, http.MethodPost, "/v1/workload", `{"count": 2}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if _, code := errorEnvelope(t, w); code != service.CodeQueueFull {
+		t.Fatalf("code %q, want %q", code, service.CodeQueueFull)
+	}
+}
+
+func TestHTTPErrorMatrix503(t *testing.T) {
+	s := service.New(service.Options{Workers: 1})
+	s.Close()
+	h := service.Handler(s)
+
+	w := do(h, http.MethodPost, "/v1/workload", `{"count": 2}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+	if _, code := errorEnvelope(t, w); code != service.CodeClosed {
+		t.Fatalf("code %q, want %q", code, service.CodeClosed)
+	}
+}
+
+func TestHTTPErrorMatrix504(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1, QueueDepth: 4, RequestTimeout: 30 * time.Millisecond})
+	h := service.Handler(s)
+
+	// Hold the only worker so the wire request times out in the queue.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	release := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The blocking job itself expires; both outcomes are fine.
+		_ = s.SubmitTestJob(context.Background(), release)
+	}()
+	waitStats(t, s, func(st service.Stats) bool { return st.InFlight == 1 })
+
+	w := do(h, http.MethodPost, "/v1/workload", `{"count": 2}`)
+	close(release)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", w.Code)
+	}
+	if _, code := errorEnvelope(t, w); code != service.CodeTimeout {
+		t.Fatalf("code %q, want %q", code, service.CodeTimeout)
+	}
+}

@@ -637,6 +637,7 @@ type counters struct {
 	schedule atomic.Uint64
 	online   atomic.Uint64
 	workload atomic.Uint64
+	campaign atomic.Uint64
 }
 
 // byKind maps a request kind to its completion counter.
@@ -648,6 +649,8 @@ func (c *counters) byKind(kind string) *atomic.Uint64 {
 		return &c.online
 	case "workload":
 		return &c.workload
+	case "campaign":
+		return &c.campaign
 	default:
 		panic(fmt.Sprintf("service: unknown request kind %q", kind))
 	}
@@ -706,6 +709,7 @@ func (s *Service) Stats() Stats {
 			"schedule": s.stats.schedule.Load(),
 			"online":   s.stats.online.Load(),
 			"workload": s.stats.workload.Load(),
+			"campaign": s.stats.campaign.Load(),
 		},
 		BusySeconds:   float64(s.stats.busyNanos.Load()) / 1e9,
 		UptimeSeconds: time.Since(s.start).Seconds(),

@@ -194,6 +194,13 @@ func DefaultMu(c Characteristic, family daggen.Family) float64 {
 	}
 }
 
+// Names lists every registered strategy name, in the paper's order. It is
+// the registry the property-based invariant suite (FuzzScheduleInvariants)
+// iterates: every name resolves through ByName for every family.
+func Names() []string {
+	return []string{"S", "ES", "PS-cp", "PS-width", "PS-work", "WPS-cp", "WPS-width", "WPS-work"}
+}
+
 // PaperSet returns the strategies compared in the paper's evaluation for
 // the given PTG family, in the paper's order. For Strassen PTGs the
 // width-based strategies are omitted: all Strassen graphs have the same

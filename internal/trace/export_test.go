@@ -1,0 +1,6 @@
+package trace
+
+// ValidateCapacityForTest exposes the per-cluster capacity sweep to the
+// oracle tests: on well-formed placements it is subsumed by processor
+// exclusivity, so only a direct call can exercise its failure path.
+var ValidateCapacityForTest = validateCapacity

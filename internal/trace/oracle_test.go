@@ -1,0 +1,98 @@
+package trace_test
+
+// Tests of the extended schedule-invariant oracle: the bare placement-list
+// entry point, release-time respect, and the per-cluster capacity sweep
+// (exercised through the exported test hook, since exclusivity over valid
+// processor indices subsumes it on well-formed placements).
+
+import (
+	"strings"
+	"testing"
+
+	"ptgsched/internal/dag"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/trace"
+)
+
+func TestValidatePlacementsAcceptsMapperOutput(t *testing.T) {
+	s := validSchedule(t)
+	graphs := make([]*dag.Graph, len(s.Apps))
+	for i, app := range s.Apps {
+		graphs[i] = app.Graph
+	}
+	if err := trace.ValidatePlacements(s.Platform, graphs, s.Placements, nil); err != nil {
+		t.Fatalf("mapper output rejected: %v", err)
+	}
+}
+
+func TestValidateReleasesAcceptsZeroReleases(t *testing.T) {
+	s := validSchedule(t)
+	if err := trace.ValidateReleases(s, make([]float64, len(s.Apps))); err != nil {
+		t.Fatalf("zero releases rejected: %v", err)
+	}
+}
+
+func TestValidateReleasesDetectsEarlyStart(t *testing.T) {
+	s := validSchedule(t)
+	releases := make([]float64, len(s.Apps))
+	releases[0] = 1e9 // app 0 supposedly arrives far in the future
+	err := trace.ValidateReleases(s, releases)
+	if err == nil || !strings.Contains(err.Error(), "release") {
+		t.Fatalf("early start not detected: %v", err)
+	}
+}
+
+func TestValidateReleasesRejectsMismatchedLength(t *testing.T) {
+	s := validSchedule(t)
+	if err := trace.ValidateReleases(s, []float64{0}); err == nil {
+		t.Fatal("mismatched release vector accepted")
+	}
+}
+
+func TestValidatePlacementsDetectsUnknownApp(t *testing.T) {
+	s := validSchedule(t)
+	graphs := make([]*dag.Graph, len(s.Apps))
+	for i, app := range s.Apps {
+		graphs[i] = app.Graph
+	}
+	err := trace.ValidatePlacements(s.Platform, graphs[:1], s.Placements, nil)
+	if err == nil {
+		t.Fatal("placements referencing dropped applications accepted")
+	}
+}
+
+func TestCapacitySweepDetectsOverCommitment(t *testing.T) {
+	pf := platform.New("tiny", true, platform.ClusterSpec{Name: "c", Procs: 4, Speed: 1})
+	c := pf.Clusters[0]
+	g := dag.New("g")
+	t0 := g.AddTask("t0", 1, 1, 0)
+	t1 := g.AddTask("t1", 1, 1, 0)
+	// Two overlapping placements claiming 3 processors each on a
+	// 4-processor cluster: 6 > 4 at t ∈ [0, 5).
+	ps := []*mapping.Placement{
+		{App: 0, Task: t0, Cluster: c, Procs: []int{0, 1, 2}, Start: 0, End: 10},
+		{App: 0, Task: t1, Cluster: c, Procs: []int{0, 1, 2}, Start: 0, End: 5},
+	}
+	err := trace.ValidateCapacityForTest(pf, ps)
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("capacity violation not detected: %v", err)
+	}
+}
+
+func TestCapacitySweepAllowsBackToBack(t *testing.T) {
+	pf := platform.New("tiny", true, platform.ClusterSpec{Name: "c", Procs: 4, Speed: 1})
+	c := pf.Clusters[0]
+	g := dag.New("g")
+	t0 := g.AddTask("t0", 1, 1, 0)
+	t1 := g.AddTask("t1", 1, 1, 0)
+	// Full-cluster use back to back, the second start within float noise
+	// of the first end: one instant, not a violation.
+	ps := []*mapping.Placement{
+		{App: 0, Task: t0, Cluster: c, Procs: []int{0, 1, 2, 3}, Start: 0, End: 10},
+		{App: 0, Task: t1, Cluster: c, Procs: []int{0, 1, 2, 3}, Start: 10 - 1e-12, End: 20},
+	}
+	if err := trace.ValidateCapacityForTest(pf, ps); err != nil {
+		t.Fatalf("back-to-back full-cluster placements rejected: %v", err)
+	}
+}

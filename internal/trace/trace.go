@@ -1,7 +1,11 @@
 // Package trace provides schedule inspection tools: structural validation
-// of mapped schedules (processor exclusivity, precedence with
-// redistribution delays, allocation-translation consistency), a text Gantt
-// renderer, and JSON export.
+// of mapped schedules (processor exclusivity, per-cluster capacity,
+// precedence with redistribution delays, allocation bounds, release-time
+// respect for online schedules), a text Gantt renderer, and JSON export.
+//
+// The validation entry points form the schedule-invariant oracle behind the
+// property-based suite (FuzzScheduleInvariants in internal/scenario): every
+// schedule any registered strategy produces must pass it.
 //
 // Concurrency: all functions only read the schedule they are given; they
 // are safe to call concurrently on distinct schedules, or on one schedule
@@ -12,42 +16,95 @@ import (
 	"fmt"
 	"sort"
 
+	"ptgsched/internal/dag"
 	"ptgsched/internal/mapping"
+	"ptgsched/internal/platform"
 )
+
+// tol absorbs floating-point noise in time comparisons.
+const tol = 1e-9
 
 // Validate checks that a schedule is executable:
 //
 //  1. every task of every application is placed exactly once;
-//  2. no processor runs two tasks at overlapping times;
+//  2. no processor runs two tasks at overlapping times, and at no instant
+//     does a cluster run more processors than it has;
 //  3. every task starts no earlier than each predecessor's end plus the
 //     contention-free redistribution estimate between their clusters;
-//  4. placements use at least one processor and have non-negative spans.
+//  4. placements use at least one processor, at most the cluster's size,
+//     and have non-negative spans.
 //
 // It returns the first violation found, or nil.
 func Validate(s *mapping.Schedule) error {
-	const tol = 1e-9
+	return ValidateReleases(s, nil)
+}
 
-	placed := make(map[string]bool, len(s.Placements))
-	for ai, app := range s.Apps {
-		for _, t := range app.Graph.Tasks {
-			p := s.PlacementOf(t)
-			if p == nil {
+// ValidateReleases checks the same invariants as Validate plus, when
+// releases is non-nil, release-time respect: no placement of application i
+// may start before releases[i], the application's submission time. It is
+// the oracle for online (dynamic arrival) schedules, whose placements
+// carry App indices into the arrival order.
+func ValidateReleases(s *mapping.Schedule, releases []float64) error {
+	graphs := make([]*dag.Graph, len(s.Apps))
+	for i, app := range s.Apps {
+		graphs[i] = app.Graph
+	}
+	// The schedule's task→placement index must agree with the placement
+	// list before the list-level oracle applies.
+	for _, p := range s.Placements {
+		if s.PlacementOf(p.Task) != p {
+			return fmt.Errorf("trace: placement index out of sync for task %q", p.Task.Name)
+		}
+	}
+	return ValidatePlacements(s.Platform, graphs, s.Placements, releases)
+}
+
+// ValidatePlacements is the full schedule-invariant oracle over a bare
+// placement list: graphs[i] is application i's PTG (matched against each
+// placement's App field), and releases, when non-nil, gives per-application
+// submission times that no placement may precede. It validates placement
+// uniqueness, allotment bounds (1..cluster size, distinct in-range
+// processor indices), per-processor exclusivity, an explicit per-cluster
+// capacity sweep, precedence with contention-free redistribution estimates,
+// and release-time respect. It returns the first violation found, or nil.
+//
+// Validate and ValidateReleases are thin wrappers for *mapping.Schedule
+// values; the online scheduler's results are validated directly from their
+// placement lists.
+func ValidatePlacements(pf *platform.Platform, graphs []*dag.Graph, placements []*mapping.Placement, releases []float64) error {
+	if releases != nil && len(releases) != len(graphs) {
+		return fmt.Errorf("trace: %d release times for %d applications", len(releases), len(graphs))
+	}
+
+	// 1. Placement uniqueness and completeness per application.
+	byApp := make([]map[int]*mapping.Placement, len(graphs))
+	for i := range byApp {
+		byApp[i] = make(map[int]*mapping.Placement, len(graphs[i].Tasks))
+	}
+	for _, p := range placements {
+		if p.App < 0 || p.App >= len(graphs) {
+			return fmt.Errorf("trace: %s references unknown application %d", p, p.App)
+		}
+		if prev := byApp[p.App][p.Task.ID]; prev != nil {
+			return fmt.Errorf("trace: app %d task %q placed twice", p.App, p.Task.Name)
+		}
+		byApp[p.App][p.Task.ID] = p
+	}
+	for ai, g := range graphs {
+		for _, t := range g.Tasks {
+			if byApp[ai][t.ID] == nil {
 				return fmt.Errorf("trace: app %d task %q not placed", ai, t.Name)
 			}
-			key := fmt.Sprintf("%d/%d", ai, t.ID)
-			if placed[key] {
-				return fmt.Errorf("trace: app %d task %q placed twice", ai, t.Name)
-			}
-			placed[key] = true
 		}
 	}
 
+	// 2. Allotment bounds, span sanity, release-time respect.
 	type span struct {
 		start, end float64
 		label      string
 	}
 	busy := make(map[string][]span)
-	for _, p := range s.Placements {
+	for _, p := range placements {
 		if len(p.Procs) == 0 {
 			return fmt.Errorf("trace: %s uses no processors", p)
 		}
@@ -56,6 +113,10 @@ func Validate(s *mapping.Schedule) error {
 		}
 		if len(p.Procs) > p.Cluster.Procs {
 			return fmt.Errorf("trace: %s uses more processors than cluster has", p)
+		}
+		if releases != nil && p.Start < releases[p.App]-tol {
+			return fmt.Errorf("trace: %s starts before its application's release at %g",
+				p, releases[p.App])
 		}
 		seen := make(map[int]bool, len(p.Procs))
 		for _, i := range p.Procs {
@@ -70,6 +131,8 @@ func Validate(s *mapping.Schedule) error {
 			busy[key] = append(busy[key], span{p.Start, p.End, p.String()})
 		}
 	}
+
+	// 3a. Per-processor exclusivity.
 	for proc, spans := range busy {
 		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
 		for i := 1; i < len(spans); i++ {
@@ -80,14 +143,64 @@ func Validate(s *mapping.Schedule) error {
 		}
 	}
 
-	for _, app := range s.Apps {
-		for _, e := range app.Graph.Edges {
-			from, to := s.PlacementOf(e.From), s.PlacementOf(e.To)
-			need := from.End + s.Platform.TransferTime(from.Cluster, to.Cluster, e.Bytes)
+	// 3b. Per-cluster capacity at every instant: a sweep line over
+	// placement start/end events. Exclusivity over valid processor indices
+	// already implies this bound; the explicit sweep keeps the oracle
+	// honest should placements ever stop naming concrete processors.
+	if err := validateCapacity(pf, placements); err != nil {
+		return err
+	}
+
+	// 4. Precedence with contention-free redistribution estimates.
+	for ai, g := range graphs {
+		for _, e := range g.Edges {
+			from, to := byApp[ai][e.From.ID], byApp[ai][e.To.ID]
+			need := from.End + pf.TransferTime(from.Cluster, to.Cluster, e.Bytes)
 			if to.Start < need-tol {
 				return fmt.Errorf("trace: %q starts at %g before data from %q arrives at %g",
 					e.To.Name, to.Start, e.From.Name, need)
 			}
+		}
+	}
+	return nil
+}
+
+// validateCapacity sweeps each cluster's timeline and checks that the
+// number of processors in use never exceeds the cluster's size. Zero-width
+// placements release their processors at the instant they claim them, so
+// the sweep processes releases before claims at equal times.
+func validateCapacity(pf *platform.Platform, placements []*mapping.Placement) error {
+	type event struct {
+		at    float64
+		delta int
+	}
+	perCluster := make(map[*platform.Cluster][]event)
+	for _, p := range placements {
+		perCluster[p.Cluster] = append(perCluster[p.Cluster],
+			event{p.Start, len(p.Procs)}, event{p.End, -len(p.Procs)})
+	}
+	for c, evs := range perCluster {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].at != evs[j].at {
+				return evs[i].at < evs[j].at
+			}
+			return evs[i].delta < evs[j].delta
+		})
+		// Events closer than tol are one instant: apply the whole group
+		// before checking, so a task starting exactly (up to float noise)
+		// when another ends is not flagged.
+		inUse := 0
+		for i := 0; i < len(evs); {
+			j := i
+			for j < len(evs) && evs[j].at <= evs[i].at+tol {
+				inUse += evs[j].delta
+				j++
+			}
+			if inUse > c.Procs {
+				return fmt.Errorf("trace: cluster %s over capacity at t=%g: %d of %d processors",
+					c.Name, evs[i].at, inUse, c.Procs)
+			}
+			i = j
 		}
 	}
 	return nil

@@ -32,6 +32,10 @@ type Spec struct {
 	// Rate is the arrival rate in applications per second (Poisson and
 	// Uniform processes). Ignored for Burst.
 	Rate float64
+	// Gen overrides the per-application generator. When nil, applications
+	// are drawn with daggen.Generate(Family, r); the scenario package sets
+	// it to pin one explicit parameter-grid cell.
+	Gen func(r *rand.Rand) *dag.Graph
 }
 
 // Process is an arrival process kind.
@@ -87,6 +91,10 @@ func Generate(spec Spec, r *rand.Rand) []online.Arrival {
 	if spec.Process != Burst && spec.Rate <= 0 {
 		panic(fmt.Sprintf("workload: rate %g for a timed process", spec.Rate))
 	}
+	gen := spec.Gen
+	if gen == nil {
+		gen = func(r *rand.Rand) *dag.Graph { return daggen.Generate(spec.Family, r) }
+	}
 	arrivals := make([]online.Arrival, spec.Count)
 	t := 0.0
 	for i := range arrivals {
@@ -102,7 +110,7 @@ func Generate(spec Spec, r *rand.Rand) []online.Arrival {
 		default:
 			panic(fmt.Sprintf("workload: unknown process %d", int(spec.Process)))
 		}
-		arrivals[i] = online.Arrival{Graph: daggen.Generate(spec.Family, r), At: t}
+		arrivals[i] = online.Arrival{Graph: gen(r), At: t}
 	}
 	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].At < arrivals[j].At })
 	return arrivals

@@ -32,11 +32,20 @@
 // doc comment for the command-line entry points.
 //
 // Above the per-batch pipeline sits the concurrency layer: NewService
-// starts a bounded worker pool multiplexing many schedule/online/workload
-// requests through one shared server core, and Serve exposes it over
-// HTTP+JSON (the cmd/ptgserve surface). RunExperiment fans campaign runs
-// out over Config.Workers goroutines with results bit-identical to the
-// sequential runner.
+// starts a bounded worker pool multiplexing many
+// schedule/online/workload/campaign requests through one shared server
+// core, and Serve exposes it over HTTP+JSON (the cmd/ptgserve surface).
+// RunExperiment fans campaign runs out over Config.Workers goroutines with
+// results bit-identical to the sequential runner.
+//
+// Arbitrary scenario spaces are described declaratively: ParseCampaignSpec
+// reads a JSON campaign spec (platforms including inline heterogeneous
+// cluster specs, PTG families with explicit parameter grids, strategy
+// sets, seeds, replication counts, online arrival processes),
+// ExpandCampaign enumerates its deterministic cartesian sweep, and the
+// expansion runs whole, as one shard of n (recombining bit-identically),
+// or point by point. The checked-in examples/campaign.json reproduces the
+// paper's Figure 3 campaign through this path.
 //
 // Concurrency contract, in brief: a Platform (and its presets) is
 // immutable after construction and freely shared; a Scheduler is an

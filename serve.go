@@ -35,6 +35,11 @@ type (
 	WorkloadServiceRequest = service.WorkloadRequest
 	// WorkloadServiceResponse reports one generated workload.
 	WorkloadServiceResponse = service.WorkloadResponse
+	// CampaignServiceRequest is one declarative campaign sweep request
+	// (an inline scenario spec, optionally one shard of it).
+	CampaignServiceRequest = service.CampaignRequest
+	// CampaignServiceResponse reports one campaign sweep.
+	CampaignServiceResponse = service.CampaignResponse
 )
 
 // Service errors.
@@ -51,8 +56,9 @@ var (
 func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 
 // ServiceHandler exposes a service over HTTP+JSON (the ptgserve wire
-// surface): POST /v1/schedule, /v1/online and /v1/workload, plus
-// GET /v1/stats, /metrics and /healthz.
+// surface): POST /v1/schedule, /v1/online, /v1/workload and /v1/campaign,
+// plus GET /v1/stats, /metrics and /healthz. Every error response carries
+// the JSON envelope {"error", "code"}.
 func ServiceHandler(s *Service) http.Handler { return service.Handler(s) }
 
 // Serve starts a scheduling service with the given options and serves its
