@@ -15,12 +15,24 @@
 // Campaign mode sweeps a declarative scenario spec (see examples/ and the
 // README's campaign section). An unsharded run prints the aggregated
 // summary tables; a -shard run streams its shard's per-point results as
-// JSONL (to -jsonl or stdout); -merge recombines shard files into the same
-// summary the unsharded run prints, bit-identically:
+// JSONL (to -jsonl or stdout); -merge recombines shard files — or whole
+// directories of *.jsonl segments, including store directories — into the
+// same summary the unsharded run prints, bit-identically:
 //
 //	ptgbench -campaign examples/campaign.json
 //	ptgbench -campaign examples/campaign.json -shard 0/4 -jsonl shard0.jsonl
 //	ptgbench -campaign examples/campaign.json -merge shard0.jsonl,shard1.jsonl,shard2.jsonl,shard3.jsonl
+//
+// With -store every completed point is appended to a durable,
+// crash-tolerant store directory (see internal/store and
+// docs/ARCHITECTURE.md); a killed sweep resumes exactly where it stopped
+// with -resume and still aggregates bit-identically:
+//
+//	ptgbench -campaign examples/campaign.json -store run/          # killed...
+//	ptgbench -campaign examples/campaign.json -store run/ -resume  # ...continues
+//	ptgbench -campaign examples/campaign.json -shard 0/2 -store run/
+//	ptgbench -campaign examples/campaign.json -shard 1/2 -store run/ -resume
+//	ptgbench -campaign examples/campaign.json -merge run/          # final tables
 //
 // The bench experiment runs the benchmark-regression suite (the same one
 // behind `go test -bench`, see internal/benchsuite) and compares it with
@@ -30,6 +42,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -37,6 +50,8 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"ptgsched"
@@ -64,7 +79,9 @@ func run(argv []string, w io.Writer) error {
 		campaignPath = fs.String("campaign", "", "run the declarative campaign spec at this path instead of a named experiment")
 		shard        = fs.String("shard", "", "campaign: run only shard i/n and stream per-point JSONL results")
 		jsonl        = fs.String("jsonl", "", "campaign: write the shard's JSONL results to this file (default stdout)")
-		merge        = fs.String("merge", "", "campaign: comma-separated shard JSONL files to aggregate instead of running")
+		merge        = fs.String("merge", "", "campaign: comma-separated shard JSONL files or directories of *.jsonl segments to aggregate instead of running")
+		storeDir     = fs.String("store", "", "campaign: append results to a durable store at this directory (crash-safe; resumable)")
+		resume       = fs.Bool("resume", false, "campaign: open the existing -store and run only its pending points")
 		reps         = fs.Int("reps", 25, "random PTG combinations per point (paper: 25)")
 		seed         = fs.Int64("seed", 42, "base random seed")
 		workers      = fs.Int("workers", 0, "concurrent runs (default: GOMAXPROCS)")
@@ -80,10 +97,10 @@ func run(argv []string, w io.Writer) error {
 	}
 
 	if *campaignPath != "" {
-		return campaignMode(w, *campaignPath, *shard, *jsonl, *merge, *workers)
+		return campaignMode(w, *campaignPath, *shard, *jsonl, *merge, *storeDir, *resume, *workers)
 	}
-	if *shard != "" || *jsonl != "" || *merge != "" {
-		return fmt.Errorf("-shard, -jsonl and -merge require -campaign")
+	if *shard != "" || *jsonl != "" || *merge != "" || *storeDir != "" || *resume {
+		return fmt.Errorf("-shard, -jsonl, -merge, -store and -resume require -campaign")
 	}
 
 	switch strings.ToLower(*name) {
@@ -120,9 +137,10 @@ func run(argv []string, w io.Writer) error {
 	}
 }
 
-// campaignMode drives the declarative scenario engine: sweep a spec, run
-// one shard of it, or merge shard outputs.
-func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge string, workers int) error {
+// campaignMode drives the declarative scenario engine: sweep a spec
+// (optionally into a durable store), run one shard of it, or merge shard
+// outputs.
+func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir string, resume bool, workers int) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -135,14 +153,27 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge string, workers
 	if err != nil {
 		return err
 	}
+	if resume && storeDir == "" {
+		return fmt.Errorf("-resume requires -store")
+	}
+	if storeDir != "" && merge != "" {
+		return fmt.Errorf("-store and -merge are mutually exclusive (merge reads the store directory directly)")
+	}
+	if storeDir != "" && jsonlPath != "" {
+		return fmt.Errorf("-store already persists per-point JSONL; use -merge %s to read it back instead of -jsonl", storeDir)
+	}
 
 	if merge != "" {
 		if shard != "" {
 			return fmt.Errorf("-merge and -shard are mutually exclusive")
 		}
+		paths, err := mergeInputs(merge, ptgsched.CampaignSpecDigest(spec))
+		if err != nil {
+			return err
+		}
 		var results []ptgsched.CampaignPointResult
-		for _, path := range strings.Split(merge, ",") {
-			f, err := os.Open(strings.TrimSpace(path))
+		for _, path := range paths {
+			f, err := os.Open(path)
 			if err != nil {
 				return err
 			}
@@ -158,6 +189,10 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge string, workers
 			return err
 		}
 		return renderCampaign(w, specPath, e, results)
+	}
+
+	if storeDir != "" {
+		return storeMode(w, specPath, e, storeDir, shard, resume, workers)
 	}
 
 	if shard != "" {
@@ -194,6 +229,117 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge string, workers
 		return err
 	}
 	return renderCampaign(w, specPath, e, results)
+}
+
+// mergeInputs expands the -merge argument: each comma-separated entry is
+// either one JSONL file or a directory whose *.jsonl segments (a store
+// directory, or any folder of shard outputs) are merged in name order —
+// aggregation reorders by point index, so segment order never matters. A
+// directory carrying a store manifest must have been written by the same
+// campaign spec: two specs can share an expansion's shape (e.g. differ
+// only in seed), so the aggregate-time congruence checks alone cannot
+// catch results belonging to a different sweep.
+func mergeInputs(merge, specDigest string) ([]string, error) {
+	var paths []string
+	for _, entry := range strings.Split(merge, ",") {
+		entry = strings.TrimSpace(entry)
+		fi, err := os.Stat(entry)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			paths = append(paths, entry)
+			continue
+		}
+		if mb, err := os.ReadFile(filepath.Join(entry, "manifest.json")); err == nil {
+			var man ptgsched.CampaignStoreManifest
+			if err := json.Unmarshal(mb, &man); err != nil {
+				return nil, fmt.Errorf("%s: invalid store manifest: %w", entry, err)
+			}
+			if man.SpecDigest != specDigest {
+				return nil, fmt.Errorf("store %s was written by a different campaign spec (digest %.12s, this spec has %.12s)",
+					entry, man.SpecDigest, specDigest)
+			}
+		}
+		// ReadDir + suffix filter, not Glob: the directory name is user
+		// input and may contain glob metacharacters.
+		entries, err := os.ReadDir(entry)
+		if err != nil {
+			return nil, err
+		}
+		var segs []string
+		for _, ent := range entries {
+			if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".jsonl") {
+				segs = append(segs, filepath.Join(entry, ent.Name()))
+			}
+		}
+		if len(segs) == 0 {
+			return nil, fmt.Errorf("%s: no *.jsonl segments to merge", entry)
+		}
+		sort.Strings(segs)
+		paths = append(paths, segs...)
+	}
+	return paths, nil
+}
+
+// storeMode sweeps into a durable store: create (or, with resume, reopen)
+// the store, run the pending points of the selected shard (or the whole
+// expansion), and — when the store is complete — print the aggregated
+// tables. A killed run is continued by the same invocation plus -resume.
+func storeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, dir, shard string, resume bool, workers int) error {
+	shards := 1
+	pts := e.Points
+	if shard != "" {
+		idx, n, err := ptgsched.ParseCampaignShard(shard)
+		if err != nil {
+			return err
+		}
+		shards = n
+		if pts, err = e.Shard(idx, n); err != nil {
+			return err
+		}
+	}
+
+	var st *ptgsched.CampaignStore
+	var err error
+	if resume {
+		st, err = ptgsched.OpenCampaignStore(dir, e)
+	} else {
+		st, err = ptgsched.CreateCampaignStore(dir, e, shards)
+	}
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	// The manifest pins the partition: a sweep that does not match it
+	// could compute points another live shard process owns — duplicate
+	// appends across processes make the store unrecoverable.
+	if manShards := st.Manifest().Shards; shard != "" && manShards != shards {
+		return fmt.Errorf("store %s is partitioned into %d shards, -shard says %d (rerun with -shard i/%d)",
+			dir, manShards, shards, manShards)
+	} else if shard == "" && manShards != 1 {
+		return fmt.Errorf("store %s is partitioned into %d shards; resume each shard with -shard i/%d, then aggregate with -merge %s",
+			dir, manShards, manShards, dir)
+	}
+
+	ran, skipped, err := st.Sweep(pts, workers)
+	if err != nil {
+		return err
+	}
+	if err := st.Sync(); err != nil {
+		return err
+	}
+	pr := st.Progress()
+	fmt.Fprintf(w, "store %s: ran %d points, skipped %d already complete (%d/%d total)\n",
+		dir, ran, skipped, pr.Completed, pr.Total)
+	if pr.Completed < pr.Total {
+		for _, sh := range pr.Shards {
+			fmt.Fprintf(w, "  shard %d/%d: %d/%d points\n", sh.Index, len(pr.Shards), sh.Completed, sh.Points)
+		}
+		fmt.Fprintf(w, "finish the remaining shards, then aggregate with -merge %s\n", dir)
+		return nil
+	}
+	return renderCampaign(w, specPath, e, st.Results())
 }
 
 // writeJSONLFile saves per-point results to path when one was requested

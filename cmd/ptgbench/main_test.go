@@ -9,6 +9,7 @@ package main
 import (
 	"bytes"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -68,6 +69,132 @@ func TestCampaignUnshardedHonorsJSONL(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-campaign", "testdata/smoke-campaign.json", "-merge", path}, &buf); err != nil {
 		t.Fatalf("merging the unsharded JSONL: %v", err)
+	}
+}
+
+func TestCampaignStoreRunMatchesPlainRun(t *testing.T) {
+	plain := runCLI(t, "-campaign", "testdata/smoke-campaign.json")
+	dir := filepath.Join(t.TempDir(), "store")
+	stored := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-store", dir)
+
+	if !strings.Contains(string(stored), "ran 8 points, skipped 0 already complete (8/8 total)") {
+		t.Fatalf("store status line missing:\n%s", stored)
+	}
+	// After the status line, the tables are byte-identical to a plain run.
+	_, tables, ok := strings.Cut(string(stored), "\n")
+	if !ok || tables != string(plain) {
+		t.Errorf("store-backed tables differ from plain run\n--- plain ---\n%s\n--- stored ---\n%s", plain, tables)
+	}
+
+	// Resuming a complete store runs nothing and prints the same tables.
+	resumed := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-store", dir, "-resume")
+	if !strings.Contains(string(resumed), "ran 0 points, skipped 8 already complete") {
+		t.Fatalf("resume of complete store reran points:\n%s", resumed)
+	}
+	_, tables, _ = strings.Cut(string(resumed), "\n")
+	if tables != string(plain) {
+		t.Error("resumed tables differ from plain run")
+	}
+}
+
+func TestCampaignStoreCrashResumeViaShards(t *testing.T) {
+	unsharded := runCLI(t, "-campaign", "testdata/smoke-campaign.json")
+	dir := filepath.Join(t.TempDir(), "store")
+
+	// Shard 0 runs and is then "killed": its segment loses its final
+	// record's tail. Shard 1 runs in the same store with -resume.
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "0/2", "-store", dir)
+	seg := filepath.Join(dir, "segment-0000.jsonl")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "0/2", "-store", dir, "-resume")
+	if !strings.Contains(string(out), "ran 1 points, skipped 3 already complete") {
+		t.Fatalf("torn segment not resumed:\n%s", out)
+	}
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "1/2", "-store", dir, "-resume")
+
+	// Merging the store directory prints exactly the unsharded tables.
+	merged := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-merge", dir)
+	if !bytes.Equal(unsharded, merged) {
+		t.Errorf("store-merged output differs from unsharded run\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			unsharded, merged)
+	}
+}
+
+func TestMergeAcceptsDirectoryOfPlainShardFiles(t *testing.T) {
+	unsharded := runCLI(t, "-campaign", "testdata/smoke-campaign.json")
+	dir := t.TempDir()
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "0/2",
+		"-jsonl", filepath.Join(dir, "s0.jsonl"))
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "1/2",
+		"-jsonl", filepath.Join(dir, "s1.jsonl"))
+	merged := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-merge", dir)
+	if !bytes.Equal(unsharded, merged) {
+		t.Error("directory merge differs from unsharded run")
+	}
+}
+
+func TestStoreFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	spec := "testdata/smoke-campaign.json"
+	if err := run([]string{"-campaign", spec, "-resume"}, &buf); err == nil {
+		t.Error("-resume without -store accepted")
+	}
+	if err := run([]string{"-campaign", spec, "-store", t.TempDir(), "-merge", "x"}, &buf); err == nil {
+		t.Error("-store with -merge accepted")
+	}
+	if err := run([]string{"-campaign", spec, "-store", t.TempDir(), "-jsonl", "x"}, &buf); err == nil {
+		t.Error("-store with -jsonl accepted")
+	}
+	if err := run([]string{"-experiment", "table1", "-store", "x"}, &buf); err == nil {
+		t.Error("-store without -campaign accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := run([]string{"-campaign", spec, "-store", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-campaign", spec, "-store", dir}, &buf); err == nil {
+		t.Error("re-creating an existing store without -resume accepted")
+	}
+	sharded := filepath.Join(t.TempDir(), "sharded")
+	if err := run([]string{"-campaign", spec, "-shard", "0/2", "-store", sharded}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-campaign", spec, "-shard", "0/3", "-store", sharded, "-resume"}, &buf); err == nil {
+		t.Error("resume with a shard layout mismatching the store manifest accepted")
+	}
+	if err := run([]string{"-campaign", spec, "-store", sharded, "-resume"}, &buf); err == nil {
+		t.Error("unsharded resume of a multi-shard store accepted (could race live shard processes)")
+	}
+	if err := run([]string{"-campaign", spec, "-merge", t.TempDir()}, &buf); err == nil {
+		t.Error("merging an empty directory accepted")
+	}
+}
+
+func TestMergeRejectsStoreOfDifferentSpec(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-store", dir)
+
+	// A spec differing only in seed has the same expansion shape, so only
+	// the manifest digest can tell the results apart.
+	other := filepath.Join(t.TempDir(), "other.json")
+	data, err := os.ReadFile("testdata/smoke-campaign.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, bytes.Replace(data, []byte(`"seed": 9`), []byte(`"seed": 10`), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-campaign", other, "-merge", dir}, &buf); err == nil {
+		t.Error("merged a store written by a different spec")
+	} else if !strings.Contains(err.Error(), "different campaign spec") {
+		t.Errorf("unexpected error: %v", err)
 	}
 }
 

@@ -1,6 +1,9 @@
 // Command ptgserve runs the concurrent scheduling service as an HTTP+JSON
-// server: schedule/online/workload requests are queued onto a bounded
-// worker pool, each worker executing the full paper pipeline per request.
+// server: schedule/online/workload/campaign requests are queued onto a
+// bounded worker pool, each worker executing the full paper pipeline per
+// request. Long campaign sweeps run as asynchronous *jobs*: submit,
+// poll progress, stream completed results, cancel (see the README's
+// "Long-running campaigns" section for a curl session).
 //
 // Usage:
 //
@@ -12,14 +15,19 @@
 //	POST /v1/online    {"platform":"sophia","count":8,"process":"poisson","rate":0.25,"seed":1}
 //	POST /v1/workload  {"family":"fft","count":10,"process":"uniform","rate":0.5}
 //	POST /v1/campaign  {"spec":{...declarative campaign spec...},"shard":"0/4"}
+//	POST   /v1/jobs               {"spec":{...},"shards":4}  → 202 + job id (async)
+//	GET    /v1/jobs               all jobs' status
+//	GET    /v1/jobs/{id}          progress: state, completed/total, per-shard counts
+//	GET    /v1/jobs/{id}/results  completed results as JSONL; ?family=&strategy=&from=&to=
+//	DELETE /v1/jobs/{id}          cancel via context and forget
 //	GET  /v1/stats     service counters as JSON
 //	GET  /metrics      the same counters in Prometheus text format
 //	GET  /healthz      liveness probe
 //
 // A full queue answers 429 with a Retry-After hint; a request exceeding the
-// timeout answers 504. Every error response carries the JSON envelope
-// {"error": ..., "code": ...}. SIGINT/SIGTERM drain in-flight requests
-// before exiting.
+// timeout answers 504; an unknown job id answers 404. Every error response
+// carries the JSON envelope {"error": ..., "code": ...}. SIGINT/SIGTERM
+// cancel running jobs and drain in-flight requests before exiting.
 package main
 
 import (

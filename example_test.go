@@ -1,6 +1,7 @@
 package ptgsched_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -147,6 +148,49 @@ func ExampleNewService() {
 	// Output:
 	// ES on Lille: 2 apps, betas [0.5 0.5]
 	// makespan 19.0 s
+}
+
+// ExampleService_SubmitJob is the asynchronous campaign round-trip: submit
+// a job, poll it to completion, stream its per-point results. Over HTTP
+// the same flow is POST /v1/jobs → GET /v1/jobs/{id} →
+// GET /v1/jobs/{id}/results.
+func ExampleService_SubmitJob() {
+	svc := ptgsched.NewService(ptgsched.ServiceOptions{Workers: 2})
+	defer svc.Close()
+
+	st, err := svc.SubmitJob(ptgsched.CampaignJobRequest{
+		Spec: []byte(`{
+			"name": "demo", "seed": 9, "reps": 2, "nptgs": [2, 3],
+			"platforms": ["lille"], "families": [{"family": "strassen"}]
+		}`),
+		Shards: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("submitted: %d points in %d shards\n", st.Points, len(st.Shards))
+
+	// Poll (WaitJob blocks; a remote client polls GET /v1/jobs/{id}).
+	final, err := svc.WaitJob(context.Background(), st.ID)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("state %s: %d/%d points\n", final.State, final.Completed, final.Points)
+
+	// Stream completed results, projected to the ES strategy column.
+	var buf bytes.Buffer
+	if err := svc.JobResults(st.ID, ptgsched.CampaignJobResultQuery{Strategy: "ES"}, &buf); err != nil {
+		panic(err)
+	}
+	results, err := ptgsched.ReadCampaignJSONL(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("streamed %d results; first: %s\n", len(results), results[0].Name)
+	// Output:
+	// submitted: 4 points in 2 shards
+	// state done: 4/4 points
+	// streamed 4 results; first: strassen/n=2/rep=0/Lille
 }
 
 // ExampleParseCampaignSpec expands a declarative campaign spec into its

@@ -227,6 +227,16 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachIndices runs fn(i) for every i in indices over the same fixed
+// worker pool as ForEach. It is the resume-aware fan-out: a caller holding
+// the set of already-completed indices (e.g. a reopened campaign store)
+// passes only the pending ones, and the sweep continues exactly where it
+// stopped — per-index work is deterministic, so skipping completed indices
+// cannot change any remaining result.
+func ForEachIndices(indices []int, workers int, fn func(i int)) {
+	ForEach(len(indices), workers, func(j int) { fn(indices[j]) })
+}
+
 // RunSeed derives a deterministic seed for one run, independent of
 // execution order. The PTG combination is shared by all platforms of the
 // same (point, rep) pair, as in the paper's "25 random combinations"

@@ -18,6 +18,8 @@
 package scenario
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -207,6 +209,22 @@ func ParseSpec(data []byte) (*Spec, error) {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// SpecDigest returns the canonical content digest of a spec: the SHA-256
+// of its re-serialized (parsed) form, as a hex string. Two spec files that
+// differ only in formatting or field order digest identically, while any
+// change that alters the expansion — an axis value, a seed, a strategy —
+// produces a new digest. The campaign store records it in its manifest so
+// a result directory can never be resumed against a different sweep.
+func SpecDigest(s *Spec) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A parsed Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("scenario: marshaling spec: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // validate checks the structural constraints Expand relies on.

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
+	"ptgsched/internal/experiment"
 	"ptgsched/internal/scenario"
 )
 
@@ -108,29 +110,9 @@ func (r CampaignRequest) resolve() (campaignScenario, error) {
 	if len(r.Spec) == 0 {
 		return cs, fmt.Errorf("service: campaign request needs a spec")
 	}
-	spec, err := scenario.ParseSpec(r.Spec)
+	spec, err := r.resolveSpecCaps()
 	if err != nil {
 		return cs, err
-	}
-	for _, n := range spec.NPTGs {
-		if n > MaxCampaignNPTGs {
-			return cs, fmt.Errorf("service: nptgs value %d above cap %d", n, MaxCampaignNPTGs)
-		}
-	}
-	if len(spec.Strategies) > MaxCampaignStrategies {
-		return cs, fmt.Errorf("service: %d strategies, cap is %d", len(spec.Strategies), MaxCampaignStrategies)
-	}
-	for _, ps := range spec.PlatformSpecs {
-		if len(ps.Clusters) > MaxCampaignClusters {
-			return cs, fmt.Errorf("service: platform %q has %d clusters, cap is %d",
-				ps.Name, len(ps.Clusters), MaxCampaignClusters)
-		}
-		for _, c := range ps.Clusters {
-			if c.Procs > MaxCampaignProcs {
-				return cs, fmt.Errorf("service: platform %q cluster %q has %d processors, cap is %d",
-					ps.Name, c.Name, c.Procs, MaxCampaignProcs)
-			}
-		}
 	}
 
 	// Reject oversized sweeps arithmetically before the expansion
@@ -167,15 +149,46 @@ func (r CampaignRequest) resolve() (campaignScenario, error) {
 		return cs, fmt.Errorf("service: campaign executes %d points, cap is %d (shard it, or use ptgbench -campaign)",
 			len(pts), MaxCampaignPoints)
 	}
-	workers := r.Workers
-	if workers <= 0 {
-		workers = 1
-	}
-	if max := runtime.GOMAXPROCS(0); workers > max {
-		workers = max
-	}
-	cs = campaignScenario{expansion: e, points: pts, shard: r.Shard, workers: workers}
+	cs = campaignScenario{expansion: e, points: pts, shard: r.Shard, workers: clampWorkers(r.Workers)}
 	return cs, nil
+}
+
+// clampWorkers applies the intra-request parallelism policy shared by the
+// synchronous campaign endpoint and the job subsystem: default 1 (one
+// request occupies one service worker), capped at GOMAXPROCS.
+func clampWorkers(w int) int {
+	if w <= 0 {
+		w = 1
+	}
+	if max := runtime.GOMAXPROCS(0); w > max {
+		return max
+	}
+	return w
+}
+
+// runPoints is Expansion.Run with panic isolation: with workers > 1 the
+// points run on ForEach's own goroutines, outside runSafely's recover,
+// where a panicking point (a degenerate generated scenario) would kill the
+// whole process instead of failing the one request.
+func runPoints(e *scenario.Expansion, pts []scenario.Point, workers int) (outs []scenario.PointResult, err error) {
+	outs = make([]scenario.PointResult, len(pts))
+	var mu sync.Mutex
+	experiment.ForEach(len(pts), workers, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if err == nil {
+					err = fmt.Errorf("service: campaign point %d panicked: %v", pts[i].Index, r)
+				}
+				mu.Unlock()
+			}
+		}()
+		outs[i] = e.RunPoint(pts[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
 }
 
 // Campaign runs one declarative campaign sweep through the worker pool.
@@ -187,7 +200,10 @@ func (s *Service) Campaign(ctx context.Context, req CampaignRequest) (*CampaignR
 	}
 	resp, err := s.submit(ctx, "campaign", func() (any, error) {
 		started := time.Now()
-		results := cs.expansion.Run(cs.points, cs.workers)
+		results, err := runPoints(cs.expansion, cs.points, cs.workers)
+		if err != nil {
+			return nil, err
+		}
 		out := &CampaignResponse{
 			Name:      cs.expansion.Spec.Name,
 			Points:    len(cs.expansion.Points),

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -16,18 +17,24 @@ import (
 //	POST /v1/schedule  — ScheduleRequest  → ScheduleResponse
 //	POST /v1/online    — OnlineRequest    → OnlineResponse
 //	POST /v1/workload  — WorkloadRequest  → WorkloadResponse
-//	POST /v1/campaign  — CampaignRequest  → CampaignResponse
+//	POST /v1/campaign  — CampaignRequest  → CampaignResponse (synchronous)
+//	POST   /v1/jobs               — JobRequest → JobStatus (202, asynchronous)
+//	GET    /v1/jobs               — every job's JobStatus
+//	GET    /v1/jobs/{id}          — one job's progress snapshot
+//	GET    /v1/jobs/{id}/results  — completed results as JSONL; query
+//	                                filters: family, strategy, from, to
+//	DELETE /v1/jobs/{id}          — cancel via context and forget
 //	GET  /v1/stats     — Stats snapshot as JSON
 //	GET  /metrics      — the same counters in Prometheus text format
 //	GET  /healthz      — liveness probe
 //
-// Error mapping: validation failures → 400, a full queue → 429 with a
-// Retry-After hint, a request timeout → 504, a closed service → 503, and a
-// pipeline failure → 500. Every error — including the mux's own 404/405
-// responses — carries the same JSON envelope {"error": ..., "code": ...}
-// with a stable machine-readable code; clients never see plain-text error
-// bodies. The handler is safe for concurrent use, like the Service
-// beneath it.
+// Error mapping: validation failures → 400, a full queue (or job registry)
+// → 429 with a Retry-After hint, a request timeout → 504, a closed service
+// → 503, an unknown job id → 404, and a pipeline failure → 500. Every
+// error — including the mux's own 404/405 responses — carries the same
+// JSON envelope {"error": ..., "code": ...} with a stable machine-readable
+// code; clients never see plain-text error bodies. The handler is safe for
+// concurrent use, like the Service beneath it.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", func(w http.ResponseWriter, r *http.Request) {
@@ -58,6 +65,64 @@ func Handler(s *Service) http.Handler {
 		}
 		respond(w, func(ctx context.Context) (any, error) { return s.Campaign(ctx, req) }, r)
 	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		st, err := s.SubmitJob(req)
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []*JobStatus `json:"jobs"`
+		}{Jobs: s.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.JobStatusByID(r.PathValue("id"))
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		q, err := parseResultQuery(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeValidation, err)
+			return
+		}
+		id := r.PathValue("id")
+		// Look the job up before committing to a streaming response, so
+		// an unknown id still gets a clean 404 envelope.
+		if _, err := s.JobStatusByID(id); err != nil {
+			writeJobError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		cw := &countingWriter{w: w}
+		if err := s.JobResults(id, q, cw); err != nil {
+			if cw.n == 0 {
+				// Validation failed before any line went out; the JSON
+				// envelope replaces the (unsent) stream.
+				writeJobError(w, err)
+			}
+			// A mid-stream write failure means the client went away; the
+			// response is already committed, nothing useful to add.
+		}
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.CancelJob(r.PathValue("id"))
+		if err != nil {
+			writeJobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -81,8 +146,64 @@ const (
 	CodeCanceled         = "canceled"
 	CodeNotFound         = "not_found"
 	CodeMethodNotAllowed = "method_not_allowed"
+	CodeTooManyJobs      = "too_many_jobs"
 	CodeInternal         = "internal"
 )
+
+// writeJobError maps job-subsystem errors onto the JSON envelope: unknown
+// id → 404, full registry or queue → 429, validation → 400, closed → 503.
+func writeJobError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, CodeInternal
+	switch {
+	case errors.Is(err, ErrJobNotFound):
+		status, code = http.StatusNotFound, CodeNotFound
+	case errors.Is(err, ErrTooManyJobs):
+		status, code = http.StatusTooManyRequests, CodeTooManyJobs
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrQueueFull):
+		status, code = http.StatusTooManyRequests, CodeQueueFull
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrClosed):
+		status, code = http.StatusServiceUnavailable, CodeClosed
+	case errors.As(err, new(*ValidationError)):
+		status, code = http.StatusBadRequest, CodeValidation
+	}
+	writeError(w, status, code, err)
+}
+
+// countingWriter tracks whether any stream bytes were written, so the
+// results handler can tell a pre-stream validation failure (error envelope
+// still possible) from a mid-stream one (response already committed).
+type countingWriter struct {
+	w http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	return n, err
+}
+
+// parseResultQuery reads the results endpoint's filter parameters.
+func parseResultQuery(r *http.Request) (ResultQuery, error) {
+	q := ResultQuery{
+		Family:   r.URL.Query().Get("family"),
+		Strategy: r.URL.Query().Get("strategy"),
+	}
+	var err error
+	if v := r.URL.Query().Get("from"); v != "" {
+		if q.From, err = strconv.Atoi(v); err != nil {
+			return q, fmt.Errorf("invalid from=%q: %w", v, err)
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if q.To, err = strconv.Atoi(v); err != nil {
+			return q, fmt.Errorf("invalid to=%q: %w", v, err)
+		}
+	}
+	return q, nil
+}
 
 // maxBodyBytes bounds a request body (1 MiB): the largest legitimate
 // payload is a campaign spec, and even a maximal one is a few KB.

@@ -1,0 +1,608 @@
+package service
+
+// The asynchronous job subsystem: a campaign sweep too long for one
+// synchronous HTTP request is submitted as a *job* — the submission
+// validates and expands the spec, enqueues one execution onto the same
+// bounded worker pool every other request shares, and returns immediately
+// with a job id. The job's progress (completed/total points, per-shard
+// state) is polled, its completed per-point results are streamed as JSONL
+// with simple query filters while it runs, and a delete cancels it through
+// its context. Results live in server memory for the job's lifetime; the
+// durable on-disk counterpart of this subsystem is internal/store, which
+// ptgbench drives for kill/resume workflows.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptgsched/internal/experiment"
+	"ptgsched/internal/scenario"
+)
+
+// Job subsystem errors and caps.
+var (
+	// ErrJobNotFound is returned for an unknown job id. The HTTP layer
+	// maps it to 404.
+	ErrJobNotFound = errors.New("service: no such job")
+	// ErrTooManyJobs is returned when the registry is full of live jobs;
+	// the client should cancel or wait. The HTTP layer maps it to 429.
+	ErrTooManyJobs = errors.New("service: too many active jobs")
+)
+
+const (
+	// MaxJobs bounds the job registry: terminal jobs are evicted
+	// oldest-first to admit new ones, but live jobs are never evicted.
+	MaxJobs = 64
+	// MaxJobPoints bounds the points one job may execute. Jobs are
+	// asynchronous, so the budget is 8× the synchronous per-request cap —
+	// but it stays bounded because every job retains its results in
+	// server memory for its registry lifetime; truly large sweeps belong
+	// to ptgbench -campaign -store.
+	MaxJobPoints = 8 * MaxCampaignPoints
+	// MaxJobBacklog bounds the total points across all live (queued or
+	// running) jobs, capping the CPU backlog and result memory a burst of
+	// submissions can commit the server to.
+	MaxJobBacklog = 2 * MaxJobPoints
+	// MaxJobShards bounds the progress-reporting partition of a job.
+	MaxJobShards = 256
+)
+
+// Job states.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// JobRequest describes one asynchronous campaign job.
+type JobRequest struct {
+	// Spec is the inline campaign spec (the scenario JSON format).
+	Spec json.RawMessage `json:"spec"`
+	// Shards partitions progress reporting: point i belongs to shard
+	// i mod Shards, exactly the scenario/store partition. Default 1.
+	Shards int `json:"shards,omitempty"`
+	// Workers bounds the job's intra-run parallelism; default 1 (a job
+	// occupies one service worker). The server clamps it to GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// JobShardState reports one shard's progress.
+type JobShardState struct {
+	Index     int `json:"index"`
+	Points    int `json:"points"`
+	Completed int `json:"completed"`
+}
+
+// JobStatus is a point-in-time snapshot of one job, the payload of
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// State is queued, running, done, failed or canceled.
+	State string `json:"state"`
+	// SpecDigest identifies the campaign content (scenario.SpecDigest).
+	SpecDigest string `json:"spec_digest"`
+	// Points is the expansion cardinality; Completed the number of points
+	// measured so far.
+	Points    int `json:"points"`
+	Completed int `json:"completed"`
+	// Shards breaks Completed down by the modulo partition.
+	Shards []JobShardState `json:"shards"`
+	// Error carries the failure reason of a failed job.
+	Error string `json:"error,omitempty"`
+	// ElapsedMS is time spent executing so far (0 while queued).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// jobHandle is the server-side state of one job.
+type jobHandle struct {
+	id     string
+	name   string
+	digest string
+	e      *scenario.Expansion
+	shards int
+	worker int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	mu       sync.Mutex // guards state, err, sweepErr, started, finished
+	state    string
+	err      error
+	sweepErr error // first panic of a sweep worker, converted to an error
+	started  time.Time
+	finished time.Time
+
+	completed  atomic.Int64
+	perShard   []atomic.Int64
+	res        []scenario.PointResult
+	resReady   []atomic.Bool // res[i] is readable once resReady[i] is set
+	shardSizes []int
+}
+
+// record publishes one completed point result (worker side).
+func (h *jobHandle) record(r scenario.PointResult) {
+	h.res[r.Index] = r
+	h.resReady[r.Index].Store(true) // release: readers Load before reading res
+	h.perShard[r.Index%h.shards].Add(1)
+	h.completed.Add(1)
+}
+
+// status snapshots the handle.
+func (h *jobHandle) status() *JobStatus {
+	h.mu.Lock()
+	state, err, started, finished := h.state, h.err, h.started, h.finished
+	h.mu.Unlock()
+	st := &JobStatus{
+		ID:         h.id,
+		Name:       h.name,
+		State:      state,
+		SpecDigest: h.digest,
+		Points:     len(h.e.Points),
+		Completed:  int(h.completed.Load()),
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	switch {
+	case !finished.IsZero():
+		st.ElapsedMS = float64(finished.Sub(started).Microseconds()) / 1e3
+	case !started.IsZero():
+		st.ElapsedMS = float64(time.Since(started).Microseconds()) / 1e3
+	}
+	for i := 0; i < h.shards; i++ {
+		st.Shards = append(st.Shards, JobShardState{
+			Index:     i,
+			Points:    h.shardSizes[i],
+			Completed: int(h.perShard[i].Load()),
+		})
+	}
+	return st
+}
+
+// setState transitions the handle; terminal states close done exactly once.
+func (h *jobHandle) setState(state string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case JobDone, JobFailed, JobCanceled:
+		return // already terminal
+	}
+	h.state = state
+	switch state {
+	case JobRunning:
+		h.started = time.Now()
+	case JobDone, JobFailed, JobCanceled:
+		h.err = err
+		h.finished = time.Now()
+		if h.started.IsZero() {
+			h.started = h.finished // canceled while still queued
+		}
+		close(h.done)
+	}
+}
+
+// terminal reports whether the job has finished.
+func (h *jobHandle) terminal() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state == JobDone || h.state == JobFailed || h.state == JobCanceled
+}
+
+// jobRegistry owns the service's job handles.
+type jobRegistry struct {
+	mu   sync.Mutex
+	byID map[string]*jobHandle
+	seq  int
+}
+
+// add registers a handle under a fresh id, evicting the oldest terminal
+// job if the registry is full; a registry full of live jobs, or one whose
+// live jobs already hold MaxJobBacklog points, refuses.
+func (reg *jobRegistry) add(h *jobHandle) (string, error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.byID == nil {
+		reg.byID = make(map[string]*jobHandle)
+	}
+	live := 0
+	for _, j := range reg.byID {
+		if !j.terminal() {
+			live += len(j.e.Points)
+		}
+	}
+	if live+len(h.e.Points) > MaxJobBacklog {
+		return "", fmt.Errorf("%w: %d points already queued or running, backlog cap is %d",
+			ErrTooManyJobs, live, MaxJobBacklog)
+	}
+	if len(reg.byID) >= MaxJobs {
+		oldest := ""
+		for id, j := range reg.byID {
+			if j.terminal() && (oldest == "" || id < oldest) {
+				oldest = id
+			}
+		}
+		if oldest == "" {
+			return "", ErrTooManyJobs
+		}
+		delete(reg.byID, oldest)
+	}
+	reg.seq++
+	id := fmt.Sprintf("job-%06d", reg.seq)
+	h.id = id
+	reg.byID[id] = h
+	return id, nil
+}
+
+// get looks a handle up.
+func (reg *jobRegistry) get(id string) (*jobHandle, error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	h, ok := reg.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	return h, nil
+}
+
+// remove deletes a handle from the registry.
+func (reg *jobRegistry) remove(id string) {
+	reg.mu.Lock()
+	delete(reg.byID, id)
+	reg.mu.Unlock()
+}
+
+// list snapshots all handles, id-ordered.
+func (reg *jobRegistry) list() []*jobHandle {
+	reg.mu.Lock()
+	hs := make([]*jobHandle, 0, len(reg.byID))
+	for _, h := range reg.byID {
+		hs = append(hs, h)
+	}
+	reg.mu.Unlock()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].id < hs[j].id })
+	return hs
+}
+
+// cancelAll cancels every job's context (used by Close).
+func (reg *jobRegistry) cancelAll() {
+	for _, h := range reg.list() {
+		h.cancel()
+	}
+}
+
+// resolveJob validates a job request against the campaign caps (minus the
+// synchronous per-request point cap: jobs are bounded by MaxJobPoints).
+func (r JobRequest) resolve() (*scenario.Expansion, int, int, error) {
+	if len(r.Spec) == 0 {
+		return nil, 0, 0, fmt.Errorf("service: job request needs a spec")
+	}
+	// Reuse the campaign request's structural caps (strategies, platform
+	// sizes) without a shard selector.
+	spec, err := (CampaignRequest{Spec: r.Spec}).resolveSpecCaps()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if _, points, err := scenario.EstimatePoints(spec); err != nil {
+		return nil, 0, 0, err
+	} else if points > MaxJobPoints {
+		return nil, 0, 0, fmt.Errorf("service: job expands to %d points, cap is %d (use ptgbench -campaign -store for larger sweeps)",
+			points, MaxJobPoints)
+	}
+	e, err := scenario.Expand(spec)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	shards := r.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 || shards > MaxJobShards || shards > len(e.Points) {
+		return nil, 0, 0, fmt.Errorf("service: %d shards for %d points (cap %d)", shards, len(e.Points), MaxJobShards)
+	}
+	return e, shards, clampWorkers(r.Workers), nil
+}
+
+// SubmitJob validates, expands and enqueues an asynchronous campaign job
+// onto the service's bounded worker pool and returns its initial status
+// immediately — the job id is the handle for polling (JobStatusByID),
+// result streaming (JobResults) and cancellation (CancelJob). A full queue
+// or a registry full of live jobs refuses the submission. Safe for
+// concurrent use.
+func (s *Service) SubmitJob(req JobRequest) (*JobStatus, error) {
+	e, shards, workers, err := req.resolve()
+	if err != nil {
+		return nil, s.invalid(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &jobHandle{
+		name:       e.Spec.Name,
+		digest:     scenario.SpecDigest(e.Spec),
+		e:          e,
+		shards:     shards,
+		worker:     workers,
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		state:      JobQueued,
+		perShard:   make([]atomic.Int64, shards),
+		res:        make([]scenario.PointResult, len(e.Points)),
+		resReady:   make([]atomic.Bool, len(e.Points)),
+		shardSizes: make([]int, shards),
+	}
+	for i := range e.Points {
+		h.shardSizes[i%shards]++
+	}
+	if _, err := s.jobs.add(h); err != nil {
+		cancel()
+		// A full registry or backlog is a rejection like a full queue:
+		// count it so throttled submissions show up in /v1/stats.
+		s.stats.rejected.Add(1)
+		return nil, err
+	}
+	if err := s.enqueueJob(h); err != nil {
+		s.jobs.remove(h.id)
+		cancel()
+		return nil, err
+	}
+	return h.status(), nil
+}
+
+// enqueueJob places the job's single pool entry on the queue synchronously
+// (so a full queue refuses the submission, like any other request) and
+// collects its outcome in the background. Jobs run without the per-request
+// timeout: their lifetime is governed by their own context.
+func (s *Service) enqueueJob(h *jobHandle) error {
+	pj := &job{ctx: h.ctx, kind: "job", enqueued: time.Now(), run: func() (any, error) {
+		return nil, s.runJob(h)
+	}, done: make(chan outcome, 1)}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return ErrClosed
+	}
+	select {
+	case s.queue <- pj:
+		s.mu.Unlock()
+		s.stats.accepted.Add(1)
+	default:
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return ErrQueueFull
+	}
+
+	go func() {
+		out := <-pj.done
+		switch {
+		case out.err == nil:
+			h.setState(JobDone, nil)
+		case errors.Is(out.err, context.Canceled):
+			h.setState(JobCanceled, nil)
+		default:
+			h.setState(JobFailed, out.err)
+		}
+		h.cancel() // release the context's resources in every path
+	}()
+	return nil
+}
+
+// runJob executes the sweep on a pool worker, fanning points over the
+// job's intra-run workers and publishing each result as it completes.
+// Each point recovers its own panics: with worker > 1 ForEach runs points
+// on goroutines outside runSafely's recover, where an unrecovered panic
+// would kill the whole process instead of failing the job.
+func (s *Service) runJob(h *jobHandle) error {
+	h.setState(JobRunning, nil)
+	experiment.ForEach(len(h.e.Points), h.worker, func(i int) {
+		if h.ctx.Err() != nil {
+			return // canceled: drain the remaining indices fast
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				h.mu.Lock()
+				if h.sweepErr == nil {
+					h.sweepErr = fmt.Errorf("service: job point %d panicked: %v", i, r)
+				}
+				h.mu.Unlock()
+				h.cancel() // drain the remaining points fast
+			}
+		}()
+		h.record(h.e.RunPoint(h.e.Points[i]))
+	})
+	h.mu.Lock()
+	err := h.sweepErr
+	h.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return h.ctx.Err()
+}
+
+// JobStatusByID snapshots one job's progress.
+func (s *Service) JobStatusByID(id string) (*JobStatus, error) {
+	h, err := s.jobs.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return h.status(), nil
+}
+
+// Jobs lists every registered job's status, id-ordered.
+func (s *Service) Jobs() []*JobStatus {
+	hs := s.jobs.list()
+	out := make([]*JobStatus, len(hs))
+	for i, h := range hs {
+		out[i] = h.status()
+	}
+	return out
+}
+
+// CancelJob cancels a queued or running job through its context and
+// removes it from the registry, returning its final status. Canceling a
+// job that already finished just removes it.
+func (s *Service) CancelJob(id string) (*JobStatus, error) {
+	h, err := s.jobs.get(id)
+	if err != nil {
+		return nil, err
+	}
+	h.cancel()
+	// The worker (or the queued-job drop path) observes the canceled
+	// context and settles the terminal state; don't wait for it here —
+	// cancellation must return promptly even mid-sweep.
+	s.jobs.remove(id)
+	st := h.status()
+	if st.State == JobQueued || st.State == JobRunning {
+		st.State = JobCanceled
+	}
+	return st, nil
+}
+
+// WaitJob blocks until the job reaches a terminal state (done, failed or
+// canceled) or ctx expires, and returns its final status.
+func (s *Service) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	h, err := s.jobs.get(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-h.done:
+		return h.status(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// ResultQuery filters a job's streamed results.
+type ResultQuery struct {
+	// Family keeps only points of cells with this PTG family (random, fft,
+	// strassen). Empty keeps all.
+	Family string
+	// Strategy projects every result down to the single named strategy
+	// column (matching the cell's labels). Empty keeps all columns.
+	Strategy string
+	// From/To keep only points with From ≤ index < To; To = 0 means the
+	// end of the expansion.
+	From, To int
+}
+
+// JobResults streams the job's completed results as JSONL — one
+// scenario.PointResult per line, in global point order — applying the
+// query's filters. It may be called while the job is still running: it
+// streams whatever has completed so far (the wire format is bit-exact, so
+// a client can resume aggregation later). Safe for concurrent use.
+func (s *Service) JobResults(id string, q ResultQuery, w io.Writer) error {
+	h, err := s.jobs.get(id)
+	if err != nil {
+		return err
+	}
+	if q.From < 0 || q.To < 0 || (q.To != 0 && q.To < q.From) {
+		return s.invalid(fmt.Errorf("service: result range [%d,%d) is invalid", q.From, q.To))
+	}
+	if q.Family != "" {
+		found := false
+		for _, c := range h.e.Cells {
+			if c.Family.String() == q.Family {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return s.invalid(fmt.Errorf("service: no cell of family %q in this campaign", q.Family))
+		}
+	}
+	stratIdx := make([]int, len(h.e.Cells)) // per cell: column of q.Strategy, -1 if absent
+	if q.Strategy != "" {
+		found := false
+		for ci, c := range h.e.Cells {
+			stratIdx[ci] = -1
+			for li, l := range c.Config.Labels {
+				if l == q.Strategy {
+					stratIdx[ci] = li
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return s.invalid(fmt.Errorf("service: no strategy labeled %q in this campaign", q.Strategy))
+		}
+	}
+
+	to := q.To
+	if to == 0 || to > len(h.e.Points) {
+		to = len(h.e.Points)
+	}
+	for i := q.From; i < to; i++ {
+		if !h.resReady[i].Load() {
+			continue
+		}
+		r := h.res[i]
+		cell := h.e.Cells[r.Cell]
+		if q.Family != "" && cell.Family.String() != q.Family {
+			continue
+		}
+		if q.Strategy != "" {
+			k := stratIdx[r.Cell]
+			if k < 0 {
+				continue
+			}
+			r = scenario.PointResult{
+				Index: r.Index, Cell: r.Cell, Name: r.Name,
+				Unfairness: r.Unfairness[k : k+1],
+				Makespan:   r.Makespan[k : k+1],
+				Rel:        r.Rel[k : k+1],
+			}
+		}
+		line, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveSpecCaps applies the campaign request's structural caps (NPTGs,
+// strategy count, platform sizes) to the spec; shared by the synchronous
+// campaign endpoint and the job subsystem.
+func (r CampaignRequest) resolveSpecCaps() (*scenario.Spec, error) {
+	spec, err := scenario.ParseSpec(r.Spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range spec.NPTGs {
+		if n > MaxCampaignNPTGs {
+			return nil, fmt.Errorf("service: nptgs value %d above cap %d", n, MaxCampaignNPTGs)
+		}
+	}
+	if len(spec.Strategies) > MaxCampaignStrategies {
+		return nil, fmt.Errorf("service: %d strategies, cap is %d", len(spec.Strategies), MaxCampaignStrategies)
+	}
+	for _, ps := range spec.PlatformSpecs {
+		if len(ps.Clusters) > MaxCampaignClusters {
+			return nil, fmt.Errorf("service: platform %q has %d clusters, cap is %d",
+				ps.Name, len(ps.Clusters), MaxCampaignClusters)
+		}
+		for _, c := range ps.Clusters {
+			if c.Procs > MaxCampaignProcs {
+				return nil, fmt.Errorf("service: platform %q cluster %q has %d processors, cap is %d",
+					ps.Name, c.Name, c.Procs, MaxCampaignProcs)
+			}
+		}
+	}
+	return spec, nil
+}

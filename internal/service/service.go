@@ -2,9 +2,11 @@
 // scheduling service: many client sessions are multiplexed through one
 // shared server core, the architecture the ROADMAP's production target
 // calls for. Requests — offline batch scheduling, online dynamic-arrival
-// scheduling, and workload generation — are queued onto a bounded worker
-// pool; each worker executes one request at a time on a private Scheduler
-// instance over shared read-only platform state.
+// scheduling, workload generation, synchronous campaign sweeps and
+// asynchronous campaign *jobs* (submit, poll progress, stream results,
+// cancel; see jobs.go) — are queued onto a bounded worker pool; each
+// worker executes one request at a time on a private Scheduler instance
+// over shared read-only platform state.
 //
 // Concurrency: the Service is safe for use by any number of goroutines.
 // The safety argument mirrors how the rest of the module is built: a
@@ -106,6 +108,8 @@ type Service struct {
 	mu     sync.Mutex // guards closed and the queue send vs Close
 	closed bool
 
+	jobs jobRegistry
+
 	stats counters
 }
 
@@ -149,8 +153,9 @@ func New(opts Options) *Service {
 // Options returns the effective (defaulted) options the service runs with.
 func (s *Service) Options() Options { return s.opts }
 
-// Close stops accepting requests, waits for queued and in-flight requests
-// to finish, and releases the workers. It is idempotent.
+// Close stops accepting requests, cancels running async jobs, waits for
+// queued and in-flight requests to finish, and releases the workers. It is
+// idempotent.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -160,6 +165,9 @@ func (s *Service) Close() {
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
+	// A running campaign job would otherwise hold its worker until the
+	// sweep finishes; cancel them all so Close drains promptly.
+	s.jobs.cancelAll()
 	s.wg.Wait()
 }
 
@@ -184,11 +192,17 @@ func (s *Service) worker() {
 		s.stats.busyNanos.Add(elapsed.Nanoseconds())
 		s.stats.queueWaitNanos.Add(started.Sub(j.enqueued).Nanoseconds())
 		if j.settle() {
-			if err != nil {
-				s.stats.failed.Add(1)
-			} else {
+			switch {
+			case err == nil:
 				s.stats.completed.Add(1)
 				s.stats.byKind(j.kind).Add(1)
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				// The client gave up mid-execution (a canceled async job,
+				// or a rare ctx-aware run): that is an expiry, not a
+				// pipeline failure.
+				s.stats.expired.Add(1)
+			default:
+				s.stats.failed.Add(1)
 			}
 		}
 		j.done <- outcome{resp: resp, err: err}
@@ -638,6 +652,7 @@ type counters struct {
 	online   atomic.Uint64
 	workload atomic.Uint64
 	campaign atomic.Uint64
+	jobRuns  atomic.Uint64
 }
 
 // byKind maps a request kind to its completion counter.
@@ -651,6 +666,8 @@ func (c *counters) byKind(kind string) *atomic.Uint64 {
 		return &c.workload
 	case "campaign":
 		return &c.campaign
+	case "job":
+		return &c.jobRuns
 	default:
 		panic(fmt.Sprintf("service: unknown request kind %q", kind))
 	}
@@ -710,6 +727,7 @@ func (s *Service) Stats() Stats {
 			"online":   s.stats.online.Load(),
 			"workload": s.stats.workload.Load(),
 			"campaign": s.stats.campaign.Load(),
+			"job":      s.stats.jobRuns.Load(),
 		},
 		BusySeconds:   float64(s.stats.busyNanos.Load()) / 1e9,
 		UptimeSeconds: time.Since(s.start).Seconds(),

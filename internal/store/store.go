@@ -1,0 +1,533 @@
+// Package store implements the durable campaign result store: an
+// append-only, crash-tolerant directory of per-point results that lets a
+// killed sweep resume exactly where it stopped and still aggregate
+// bit-identically to an uninterrupted run.
+//
+// On-disk format (documented in docs/ARCHITECTURE.md):
+//
+//	DIR/manifest.json    — Manifest: format version, campaign name, the
+//	                       canonical spec digest (scenario.SpecDigest), the
+//	                       expansion cardinality and the shard layout.
+//	DIR/segment-NNNN.jsonl — one append-only JSONL segment per shard; a
+//	                       point with global index i lives in segment
+//	                       i mod Shards (exactly scenario's shard
+//	                       partition). Each line is one scenario.PointResult
+//	                       in the bit-exact campaign wire format.
+//
+// Durability and recovery rules: every Append writes one whole line with a
+// single write(2) call to an O_APPEND file, so a crash — SIGKILL, OOM, power
+// loss mid-write — can tear at most the final line of each segment. Open
+// recovers by dropping an incomplete or unparsable final line; the
+// physical truncation back to the last good record is deferred until this
+// process first appends to that segment, so opening a shared store never
+// mutates segments owned by other still-running shard processes. A
+// malformed line anywhere *before* the end is real corruption and fails
+// loudly. Every recovered
+// record is validated against the expansion (index range, segment
+// congruence, cell agreement), and the manifest's spec digest must match
+// the expansion's, so a store can never silently resume a different sweep.
+//
+// Concurrency: one Store may be appended to by any number of goroutines
+// (appends to the same segment serialize on a per-segment mutex); Sweep
+// fans pending points over the experiment worker pool and appends each
+// result as it completes. Multiple *processes* may share one store
+// directory only if they write disjoint shards (the ptgbench -shard
+// workflow); the manifest is written once by whoever creates the store.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ptgsched/internal/experiment"
+	"ptgsched/internal/scenario"
+)
+
+// ErrFailed poisons a Store whose segment write failed: the failed record
+// may be half on disk, so further appends through the same handle could
+// concatenate onto the torn bytes and turn a recoverable tail into
+// mid-segment corruption. Reopen the store — Open truncates the torn tail
+// and the point becomes pending again.
+var ErrFailed = errors.New("store: a previous append failed; reopen the store to recover")
+
+// FormatVersion identifies the on-disk layout; Open rejects manifests
+// written by a newer, unknown layout.
+const FormatVersion = 1
+
+// manifestName is the manifest file inside a store directory.
+const manifestName = "manifest.json"
+
+// Manifest pins a store directory to one campaign expansion.
+type Manifest struct {
+	// Version is the on-disk format version (FormatVersion).
+	Version int `json:"version"`
+	// Name echoes the spec's campaign name.
+	Name string `json:"name,omitempty"`
+	// SpecDigest is scenario.SpecDigest of the campaign spec; Open refuses
+	// a store whose digest differs from the expansion it is opened with.
+	SpecDigest string `json:"spec_digest"`
+	// Points is the expansion cardinality.
+	Points int `json:"points"`
+	// Shards is the segment layout: point i lives in segment i mod Shards.
+	Shards int `json:"shards"`
+}
+
+// ShardState describes one segment's progress.
+type ShardState struct {
+	// Index is the segment index (= shard index of the modulo partition).
+	Index int `json:"index"`
+	// Points is the number of expansion points the segment owns.
+	Points int `json:"points"`
+	// Completed is the number of results it holds.
+	Completed int `json:"completed"`
+}
+
+// Progress is a point-in-time snapshot of a store's completion state.
+type Progress struct {
+	Completed int          `json:"completed"`
+	Total     int          `json:"total"`
+	Shards    []ShardState `json:"shards"`
+}
+
+// Store is an open campaign result store. Create and Open are the two
+// constructors; Close releases the segment files.
+type Store struct {
+	dir string
+	man Manifest
+	e   *scenario.Expansion
+
+	segs []*segment
+
+	mu        sync.Mutex // guards done/results/completed
+	done      []bool     // per global point index
+	results   []scenario.PointResult
+	completed int
+
+	failed atomic.Bool // sticky append-failure flag; Sweep drains fast once set
+}
+
+// segment is one append-only JSONL file.
+type segment struct {
+	mu     sync.Mutex
+	f      *os.File
+	points int // expansion points owned by this segment
+	// truncateAt ≥ 0 marks a torn tail found at Open: the file is
+	// physically truncated back to this offset immediately before this
+	// process's first append to the segment. Deferring the truncation
+	// keeps Open read-only on segments owned by other still-running shard
+	// processes (a shared-filesystem reader can misclassify a foreign
+	// in-flight append as torn; it must not destroy it).
+	truncateAt int64
+}
+
+// segmentPath names segment i of a store directory.
+func segmentPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("segment-%04d.jsonl", i))
+}
+
+// Create initializes dir as a new store for the expansion, partitioned into
+// shards segments (shards < 1 means 1). dir must not already contain a
+// store; a fresh or empty directory is created as needed.
+func Create(dir string, e *scenario.Expansion, shards int) (*Store, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(e.Points) && len(e.Points) > 0 {
+		return nil, fmt.Errorf("store: %d shards for %d points", shards, len(e.Points))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Refuse to build a store around stale segments (e.g. a directory
+	// whose manifest was deleted to "reset" it): records invisible to
+	// this run's done-set would be concatenated with fresh ones and brick
+	// the store at the next Open with duplicate-point errors.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".jsonl") {
+			return nil, fmt.Errorf("store: %s already contains segment %s (empty the directory, or open the store it belongs to)",
+				dir, ent.Name())
+		}
+	}
+	man := Manifest{
+		Version:    FormatVersion,
+		Name:       e.Spec.Name,
+		SpecDigest: scenario.SpecDigest(e.Spec),
+		Points:     len(e.Points),
+		Shards:     shards,
+	}
+	mb, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	// O_EXCL makes creation the atomic claim on the directory: two
+	// concurrent creators cannot both succeed and leave segments laid out
+	// under two different manifests.
+	mf, err := os.OpenFile(filepath.Join(dir, manifestName), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("store: %s already holds a store (open it instead)", dir)
+		}
+		return nil, err
+	}
+	if _, err := mf.Write(append(mb, '\n')); err != nil {
+		mf.Close()
+		return nil, err
+	}
+	if err := mf.Close(); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, man: man, e: e, done: make([]bool, len(e.Points))}
+	if err := s.openSegments(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open opens an existing store and recovers its completed-result state:
+// each segment is scanned, a torn final line (the footprint of a crash
+// mid-append) is dropped — its point becomes pending again, and the torn
+// bytes are physically truncated just before this process first appends to
+// that segment — and every surviving record is validated against the
+// expansion. The manifest must match the expansion — same spec digest,
+// same cardinality — so stale or foreign directories fail instead of
+// resuming the wrong sweep.
+func Open(dir string, e *scenario.Expansion) (*Store, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: %s is not a store: %w", dir, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(mb, &man); err != nil {
+		return nil, fmt.Errorf("store: %s: invalid manifest: %w", dir, err)
+	}
+	if man.Version != FormatVersion {
+		return nil, fmt.Errorf("store: %s: format version %d, this build reads %d", dir, man.Version, FormatVersion)
+	}
+	if got, want := scenario.SpecDigest(e.Spec), man.SpecDigest; got != want {
+		return nil, fmt.Errorf("store: %s was written by a different campaign spec (digest %.12s, expansion has %.12s)", dir, want, got)
+	}
+	if man.Points != len(e.Points) {
+		return nil, fmt.Errorf("store: %s records %d points, expansion has %d", dir, man.Points, len(e.Points))
+	}
+	if man.Shards < 1 || (man.Points > 0 && man.Shards > man.Points) {
+		// The same invariant Create enforces; a corrupt shard count must
+		// not drive openSegments into fabricating files.
+		return nil, fmt.Errorf("store: %s: invalid shard count %d for %d points", dir, man.Shards, man.Points)
+	}
+	s := &Store{dir: dir, man: man, e: e, done: make([]bool, len(e.Points))}
+	trunc := make(map[int]int64)
+	for i := 0; i < man.Shards; i++ {
+		if err := s.recoverSegment(i, trunc); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if err := s.openSegments(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	for i, off := range trunc {
+		s.segs[i].truncateAt = off
+	}
+	return s, nil
+}
+
+// openSegments opens every segment file for append — creating any that do
+// not exist yet, e.g. the segment of a shard that never started — and
+// counts the expansion points each segment owns.
+func (s *Store) openSegments() error {
+	s.segs = make([]*segment, s.man.Shards)
+	for i := range s.segs {
+		f, err := os.OpenFile(segmentPath(s.dir, i), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		s.segs[i] = &segment{f: f, truncateAt: -1}
+	}
+	for i := range s.e.Points {
+		s.segs[i%s.man.Shards].points++
+	}
+	return nil
+}
+
+// recoverSegment replays one segment's records. A torn tail is dropped
+// from the recovered state and its offset recorded in trunc; the physical
+// truncation is deferred to the first append (see segment.truncateAt).
+func (s *Store) recoverSegment(idx int, trunc map[int]int64) error {
+	path := segmentPath(s.dir, idx)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil // a shard that never started; its points are pending
+	}
+	if err != nil {
+		return err
+	}
+	good := 0 // byte offset after the last valid record
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Trailing bytes without a newline: a torn final line.
+			break
+		}
+		line := data[off : off+nl]
+		var r scenario.PointResult
+		if len(bytes.TrimSpace(line)) == 0 {
+			good = off + nl + 1
+			off = good
+			continue
+		}
+		if err := json.Unmarshal(line, &r); err != nil {
+			if off+nl+1 >= len(data) {
+				// The final line parsed as garbage: also a torn write
+				// (crashed between the payload and its newline landing).
+				break
+			}
+			return fmt.Errorf("store: %s: corrupt record before end of segment: %w", path, err)
+		}
+		if err := s.validate(r, idx); err != nil {
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+		if s.done[r.Index] {
+			return fmt.Errorf("store: %s: duplicate result for point %d", path, r.Index)
+		}
+		s.done[r.Index] = true
+		s.results = append(s.results, r)
+		s.completed++
+		good = off + nl + 1
+		off = good
+	}
+	if good < len(data) {
+		trunc[idx] = int64(good)
+	}
+	return nil
+}
+
+// validate checks one record against the expansion and the shard layout.
+func (s *Store) validate(r scenario.PointResult, seg int) error {
+	if r.Index < 0 || r.Index >= len(s.e.Points) {
+		return fmt.Errorf("point index %d outside expansion [0,%d)", r.Index, len(s.e.Points))
+	}
+	if r.Index%s.man.Shards != seg {
+		return fmt.Errorf("point %d does not belong to segment %d of %d", r.Index, seg, s.man.Shards)
+	}
+	if r.Cell != s.e.Points[r.Index].Cell {
+		return fmt.Errorf("point %d is for cell %d, expansion says %d", r.Index, r.Cell, s.e.Points[r.Index].Cell)
+	}
+	return nil
+}
+
+// Manifest returns the store's manifest.
+func (s *Store) Manifest() Manifest { return s.man }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append durably records one point result: the JSONL line is written with a
+// single write call to the point's O_APPEND segment, so a crash tears at
+// most the final line (which Open truncates away). Appending a point that
+// the store already holds is an error — resume flows skip completed points,
+// so a duplicate means two writers raced on the same shard.
+func (s *Store) Append(r scenario.PointResult) error {
+	if s.failed.Load() {
+		return ErrFailed
+	}
+	// validate rejects an out-of-range index before the modulo below can
+	// pick a segment from it.
+	if err := s.validate(r, r.Index%s.man.Shards); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	seg := s.segs[r.Index%s.man.Shards]
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	if s.done[r.Index] {
+		s.mu.Unlock()
+		return fmt.Errorf("store: point %d already recorded", r.Index)
+	}
+	s.done[r.Index] = true
+	s.mu.Unlock()
+
+	seg.mu.Lock()
+	if seg.truncateAt >= 0 {
+		// First append since recovery found a torn tail here: this
+		// process owns the segment now, so drop the torn bytes before
+		// they can be concatenated onto.
+		if err := seg.f.Truncate(seg.truncateAt); err != nil {
+			seg.mu.Unlock()
+			s.failed.Store(true)
+			return fmt.Errorf("store: truncating torn tail before append: %w", err)
+		}
+		seg.truncateAt = -1
+	}
+	_, err = seg.f.Write(line)
+	seg.mu.Unlock()
+	if err != nil {
+		// The record may be half on disk; mark the store failed so Sweep
+		// stops, and leave recovery to the next Open's torn-tail rule.
+		s.failed.Store(true)
+		return fmt.Errorf("store: appending point %d: %w", r.Index, err)
+	}
+
+	s.mu.Lock()
+	s.results = append(s.results, r)
+	s.completed++
+	s.mu.Unlock()
+	return nil
+}
+
+// Resume returns the set of completed point indices — the points a resumed
+// sweep must skip. The scenario runner subtracts it from its point list and
+// fans only the pending indices over experiment.ForEachIndices.
+func (s *Store) Resume() map[int]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done := make(map[int]bool, s.completed)
+	for i, d := range s.done {
+		if d {
+			done[i] = true
+		}
+	}
+	return done
+}
+
+// Pending filters points down to those the store has not yet recorded.
+func (s *Store) Pending(points []scenario.Point) []scenario.Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []scenario.Point
+	for _, p := range points {
+		if !s.done[p.Index] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Progress snapshots completion per shard and overall.
+func (s *Store) Progress() Progress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pr := Progress{Completed: s.completed, Total: len(s.e.Points)}
+	perShard := make([]int, s.man.Shards)
+	for i, d := range s.done {
+		if d {
+			perShard[i%s.man.Shards]++
+		}
+	}
+	for i, seg := range s.segs {
+		pr.Shards = append(pr.Shards, ShardState{Index: i, Points: seg.points, Completed: perShard[i]})
+	}
+	return pr
+}
+
+// Results returns the store's completed results in global point order. The
+// slice is a copy; for a fully-complete store it aggregates through
+// scenario.Aggregate bit-identically to an uninterrupted in-memory run.
+func (s *Store) Results() []scenario.PointResult {
+	s.mu.Lock()
+	out := make([]scenario.PointResult, len(s.results))
+	copy(out, s.results)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Aggregate reduces a complete store into per-cell summary tables — exactly
+// scenario.Aggregate over Results, so a resumed run's summary is
+// bit-identical to an uninterrupted one.
+func (s *Store) Aggregate() ([]scenario.Table, error) {
+	return s.e.Aggregate(s.Results())
+}
+
+// Sweep runs every pending point of points (a full expansion or one shard)
+// over the experiment worker pool, appending each result as it completes,
+// and reports how many points it ran and how many were already recorded.
+// Results are bit-identical at every worker count and across any
+// kill/resume split: each point derives everything from its own seed.
+func (s *Store) Sweep(points []scenario.Point, workers int) (ran, skipped int, err error) {
+	if s.failed.Load() {
+		return 0, 0, ErrFailed
+	}
+	pending := s.Pending(points)
+	skipped = len(points) - len(pending)
+	idx := make([]int, len(pending))
+	for i, p := range pending {
+		idx[i] = p.Index
+	}
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	experiment.ForEachIndices(idx, workers, func(i int) {
+		if s.failed.Load() {
+			return // an earlier append failed; drain fast
+		}
+		r := s.e.RunPoint(s.e.Points[i])
+		if err := s.Append(r); err != nil {
+			errMu.Lock()
+			// Keep the most informative error: a worker racing in after
+			// the failure sees the bare poisoned-handle ErrFailed, which
+			// must not shadow the root cause.
+			if firstErr == nil || (errors.Is(firstErr, ErrFailed) && !errors.Is(err, ErrFailed)) {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return 0, skipped, firstErr
+	}
+	return len(pending), skipped, nil
+}
+
+// Sync flushes every segment to stable storage (fsync). Append itself does
+// not fsync — a SIGKILL'd process loses nothing because the page cache
+// survives it — so callers that must survive machine crashes call Sync at
+// checkpoints.
+func (s *Store) Sync() error {
+	for _, seg := range s.segs {
+		if seg == nil {
+			continue
+		}
+		seg.mu.Lock()
+		err := seg.f.Sync()
+		seg.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the segment files. The store's data is already on disk;
+// Close only drops the handles.
+func (s *Store) Close() error {
+	var first error
+	for _, seg := range s.segs {
+		if seg == nil || seg.f == nil {
+			continue
+		}
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		seg.f = nil
+	}
+	return first
+}

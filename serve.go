@@ -40,6 +40,17 @@ type (
 	CampaignServiceRequest = service.CampaignRequest
 	// CampaignServiceResponse reports one campaign sweep.
 	CampaignServiceResponse = service.CampaignResponse
+	// CampaignJobRequest is one asynchronous campaign job submission:
+	// Service.SubmitJob returns immediately with a job id, progress is
+	// polled with JobStatusByID, completed results stream through
+	// JobResults, and CancelJob cancels via context.
+	CampaignJobRequest = service.JobRequest
+	// CampaignJobStatus is a point-in-time job snapshot (state,
+	// completed/total points, per-shard progress).
+	CampaignJobStatus = service.JobStatus
+	// CampaignJobResultQuery filters a job's streamed JSONL results by
+	// family, strategy label and point-index range.
+	CampaignJobResultQuery = service.ResultQuery
 )
 
 // Service errors.
@@ -48,6 +59,10 @@ var (
 	ErrServiceQueueFull = service.ErrQueueFull
 	// ErrServiceClosed reports a request submitted after Close.
 	ErrServiceClosed = service.ErrClosed
+	// ErrJobNotFound reports an unknown campaign job id.
+	ErrJobNotFound = service.ErrJobNotFound
+	// ErrTooManyJobs reports a job registry full of live jobs.
+	ErrTooManyJobs = service.ErrTooManyJobs
 )
 
 // NewService starts a concurrent scheduling service: a bounded request
@@ -57,8 +72,10 @@ func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 
 // ServiceHandler exposes a service over HTTP+JSON (the ptgserve wire
 // surface): POST /v1/schedule, /v1/online, /v1/workload and /v1/campaign,
-// plus GET /v1/stats, /metrics and /healthz. Every error response carries
-// the JSON envelope {"error", "code"}.
+// the asynchronous job routes (POST/GET /v1/jobs, GET /v1/jobs/{id} and
+// /v1/jobs/{id}/results, DELETE /v1/jobs/{id}), plus GET /v1/stats,
+// /metrics and /healthz. Every error response carries the JSON envelope
+// {"error", "code"}.
 func ServiceHandler(s *Service) http.Handler { return service.Handler(s) }
 
 // Serve starts a scheduling service with the given options and serves its

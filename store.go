@@ -1,0 +1,41 @@
+package ptgsched
+
+import (
+	"ptgsched/internal/scenario"
+	"ptgsched/internal/store"
+)
+
+// Durable campaign store (the persistence layer under long-running
+// sweeps): a store directory holds a manifest — the campaign spec's
+// content digest, the expansion cardinality, the shard layout — plus one
+// append-only JSONL segment per shard, each line a CampaignPointResult in
+// the bit-exact campaign wire format. Every Append writes one whole line
+// with a single write call, so a crash tears at most the final line of a
+// segment; OpenCampaignStore truncates a torn tail away and recovers the
+// completed-point set, and a resumed sweep (Store.Sweep skips completed
+// points) aggregates bit-identically to an uninterrupted run. This is the
+// engine behind `ptgbench -campaign -store DIR [-resume]`.
+type (
+	// CampaignStore is an open result store; create with
+	// CreateCampaignStore, reopen with OpenCampaignStore, release with
+	// its Close method.
+	CampaignStore = store.Store
+	// CampaignStoreManifest pins a store directory to one campaign.
+	CampaignStoreManifest = store.Manifest
+	// CampaignStoreProgress snapshots completion per shard and overall.
+	CampaignStoreProgress = store.Progress
+)
+
+// Campaign store entry points.
+var (
+	// CreateCampaignStore initializes a directory as a new store for an
+	// expansion, partitioned into the given number of shard segments.
+	CreateCampaignStore = store.Create
+	// OpenCampaignStore reopens an existing store against the same
+	// expansion, recovering from a torn final line if the last run
+	// crashed mid-append.
+	OpenCampaignStore = store.Open
+	// CampaignSpecDigest is the canonical content digest a store manifest
+	// records (scenario.SpecDigest).
+	CampaignSpecDigest = scenario.SpecDigest
+)
