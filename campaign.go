@@ -26,7 +26,17 @@ type (
 	// CampaignOnlineSpec sweeps the online scheduler's arrival processes.
 	CampaignOnlineSpec = scenario.OnlineSpec
 	// CampaignExpansion is a spec expanded into its deterministic sweep.
+	// Points are generated lazily: PointAt(i) derives any point in O(1),
+	// and selections (full sweep, shards, prefixes) are CampaignIndexSet
+	// predicates, so campaign size is bounded by arithmetic, not memory.
 	CampaignExpansion = scenario.Expansion
+	// CampaignIndexSet selects a subset of a sweep's point indices by
+	// predicate (limit/offset/stride) instead of a materialized slice.
+	CampaignIndexSet = scenario.IndexSet
+	// CampaignAggregator is the incremental, order-insensitive reduction:
+	// feed it results one at a time (Add) from any shard, stream or store
+	// and its Tables are bit-identical to a materialized aggregation.
+	CampaignAggregator = scenario.Aggregator
 	// CampaignCell is one aggregation cell of a sweep.
 	CampaignCell = scenario.Cell
 	// CampaignPoint is one fully determined scenario of a sweep.
@@ -43,17 +53,22 @@ type (
 var (
 	// ParseCampaignSpec decodes and validates a JSON campaign spec.
 	ParseCampaignSpec = scenario.ParseSpec
-	// ExpandCampaign enumerates a spec's full scenario sweep.
+	// ExpandCampaign resolves a spec into its (lazily enumerated) sweep.
 	ExpandCampaign = scenario.Expand
+	// EstimateCampaignPoints computes a spec's expansion cardinality
+	// (cells, points) arithmetically, without expanding it.
+	EstimateCampaignPoints = scenario.EstimatePoints
 	// PaperCampaignSpec returns the spec-driven form of a paper figure
 	// campaign ("fig2" … "fig5").
 	PaperCampaignSpec = scenario.PaperSpec
 	// ParseCampaignShard parses a shard selector "i/n".
 	ParseCampaignShard = scenario.ParseShard
 	// WriteCampaignJSONL / ReadCampaignJSONL stream per-point results in
-	// the bit-exact shard interchange format.
-	WriteCampaignJSONL = scenario.WriteJSONL
-	ReadCampaignJSONL  = scenario.ReadJSONL
+	// the bit-exact shard interchange format; ReadCampaignJSONLFunc is
+	// the record-at-a-time reader merge flows feed an aggregator with.
+	WriteCampaignJSONL    = scenario.WriteJSONL
+	ReadCampaignJSONL     = scenario.ReadJSONL
+	ReadCampaignJSONLFunc = scenario.ReadJSONLFunc
 	// SortCampaignResults orders merged shard results by point index.
 	SortCampaignResults = scenario.SortResults
 )

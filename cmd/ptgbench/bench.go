@@ -18,6 +18,11 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
+	// LiveHeapBytes carries the "live-heap-bytes" custom metric of the
+	// streaming-vs-materialized aggregation pair: the live heap held just
+	// before finalization (the resident-memory contrast of the streaming
+	// pipeline). Zero for benchmarks that do not report it.
+	LiveHeapBytes float64 `json:"live_heap_bytes,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_mapping.json: the frozen seed baseline
@@ -110,11 +115,12 @@ func bench(w io.Writer, jsonPath string) error {
 			return fmt.Errorf("benchmark %s failed (zero result)", c.Name)
 		}
 		cur := BenchResult{
-			Name:        c.Name,
-			NsPerOp:     float64(res.NsPerOp()),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-			Iterations:  res.N,
+			Name:          c.Name,
+			NsPerOp:       float64(res.NsPerOp()),
+			BytesPerOp:    res.AllocedBytesPerOp(),
+			AllocsPerOp:   res.AllocsPerOp(),
+			Iterations:    res.N,
+			LiveHeapBytes: res.Extra["live-heap-bytes"],
 		}
 		report.Current = append(report.Current, cur)
 		speedup, allocRatio := 0.0, 0.0

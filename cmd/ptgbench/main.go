@@ -13,11 +13,17 @@
 //	ptgbench -experiment ablation
 //
 // Campaign mode sweeps a declarative scenario spec (see examples/ and the
-// README's campaign section). An unsharded run prints the aggregated
-// summary tables; a -shard run streams its shard's per-point results as
-// JSONL (to -jsonl or stdout); -merge recombines shard files — or whole
-// directories of *.jsonl segments, including store directories — into the
-// same summary the unsharded run prints, bit-identically:
+// README's campaign section). The pipeline is streaming end to end:
+// points are generated lazily from their global index, completed results
+// feed the incremental aggregator as they arrive, and the spec's
+// cardinality (computed arithmetically before anything expands) plus
+// periodic progress — per shard, read off the store's done bitmap when a
+// store is attached — are reported to stderr, so stdout stays exactly the
+// tables/JSONL. An unsharded run prints the aggregated summary tables; a
+// -shard run streams its shard's per-point results as JSONL (to -jsonl or
+// stdout); -merge recombines shard files — or whole directories of
+// *.jsonl segments, including store directories — into the same summary
+// the unsharded run prints, bit-identically:
 //
 //	ptgbench -campaign examples/campaign.json
 //	ptgbench -campaign examples/campaign.json -shard 0/4 -jsonl shard0.jsonl
@@ -42,6 +48,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -53,6 +60,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"ptgsched"
 )
@@ -137,9 +147,39 @@ func run(argv []string, w io.Writer) error {
 	}
 }
 
+// progressInterval paces the stderr progress reports of long sweeps; a
+// sweep finishing inside one interval prints nothing.
+const progressInterval = 10 * time.Second
+
+// startProgress reports snapshot() to stderr every progressInterval until
+// the returned stop function is called. Progress goes to stderr so the
+// table/JSONL output on stdout stays byte-identical, progress or not.
+func startProgress(snapshot func() string) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(progressInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(os.Stderr, "ptgbench: "+snapshot())
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
 // campaignMode drives the declarative scenario engine: sweep a spec
 // (optionally into a durable store), run one shard of it, or merge shard
-// outputs.
+// outputs. The whole path is streaming — points are generated lazily,
+// completed results feed the incremental aggregator (or the JSONL sink)
+// as they arrive, and nothing proportional to the sweep is materialized
+// except where the user asked for an in-memory shard result file.
 func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir string, resume bool, workers int) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
@@ -149,6 +189,17 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 	if err != nil {
 		return err
 	}
+	// Report the arithmetic cardinality before expanding anything, so the
+	// operator of a multi-million-point sweep sees its size immediately.
+	cells, points, err := ptgsched.EstimateCampaignPoints(spec)
+	if err != nil {
+		return err
+	}
+	name := spec.Name
+	if name == "" {
+		name = specPath
+	}
+	fmt.Fprintf(os.Stderr, "ptgbench: campaign %s: %d cells, %d points\n", name, cells, points)
 	e, err := ptgsched.ExpandCampaign(spec)
 	if err != nil {
 		return err
@@ -167,28 +218,7 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 		if shard != "" {
 			return fmt.Errorf("-merge and -shard are mutually exclusive")
 		}
-		paths, err := mergeInputs(merge, ptgsched.CampaignSpecDigest(spec))
-		if err != nil {
-			return err
-		}
-		var results []ptgsched.CampaignPointResult
-		for _, path := range paths {
-			f, err := os.Open(path)
-			if err != nil {
-				return err
-			}
-			rs, err := ptgsched.ReadCampaignJSONL(f)
-			f.Close()
-			if err != nil {
-				return fmt.Errorf("%s: %w", path, err)
-			}
-			results = append(results, rs...)
-		}
-		ptgsched.SortCampaignResults(results)
-		if err := writeJSONLFile(w, jsonlPath, results, len(e.Points)); err != nil {
-			return err
-		}
-		return renderCampaign(w, specPath, e, results)
+		return mergeMode(w, specPath, e, spec, merge, jsonlPath)
 	}
 
 	if storeDir != "" {
@@ -200,11 +230,14 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 		if err != nil {
 			return err
 		}
-		pts, err := e.Shard(idx, n)
+		set, err := e.Shard(idx, n)
 		if err != nil {
 			return err
 		}
-		results := e.Run(pts, workers)
+		// A shard's results are the deliverable (the JSONL wire artifact),
+		// so this path materializes them — in point order, bounded by the
+		// user's own shard split.
+		results := e.Run(set, workers)
 		out := w
 		if jsonlPath != "" {
 			f, err := os.Create(jsonlPath)
@@ -219,16 +252,114 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 		}
 		if jsonlPath != "" {
 			fmt.Fprintf(w, "wrote %d of %d points (shard %s) to %s\n",
-				len(results), len(e.Points), shard, jsonlPath)
+				len(results), e.NumPoints(), shard, jsonlPath)
 		}
 		return nil
 	}
 
-	results := e.Run(e.Points, workers)
-	if err := writeJSONLFile(w, jsonlPath, results, len(e.Points)); err != nil {
+	// Unsharded run: stream every completed point straight into the
+	// incremental aggregator (and the optional JSONL sink, in completion
+	// order — aggregation and -merge reorder by index, so order on disk
+	// never matters).
+	var sink *bufio.Writer
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = bufio.NewWriter(f)
+	}
+	set := e.All()
+	agg := e.NewAggregator()
+	var done atomic.Int64
+	stop := startProgress(func() string {
+		return fmt.Sprintf("campaign %s: %d/%d points", name, done.Load(), set.Len())
+	})
+	err = e.RunEach(set, workers, func(r ptgsched.CampaignPointResult) error {
+		if sink != nil {
+			line, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			sink.Write(line)
+			sink.WriteByte('\n')
+		}
+		if err := agg.Add(r); err != nil {
+			return err
+		}
+		done.Add(1)
+		return nil
+	})
+	stop()
+	if err != nil {
 		return err
 	}
-	return renderCampaign(w, specPath, e, results)
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d of %d points to %s\n", agg.Added(), e.NumPoints(), jsonlPath)
+	}
+	tables, err := agg.Tables()
+	if err != nil {
+		return err
+	}
+	return renderCampaign(w, specPath, e, tables)
+}
+
+// mergeMode recombines shard outputs (files or directories of segments)
+// by streaming every record into the incremental aggregator — a
+// multi-million-point store directory merges without the result set ever
+// being resident. With -jsonl the records are additionally copied to one
+// combined file, in read order.
+func mergeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, spec *ptgsched.CampaignSpec, merge, jsonlPath string) error {
+	paths, err := mergeInputs(merge, ptgsched.CampaignSpecDigest(spec))
+	if err != nil {
+		return err
+	}
+	var sink *bufio.Writer
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = bufio.NewWriter(f)
+	}
+	agg := e.NewAggregator()
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = ptgsched.ReadCampaignJSONLFunc(f, func(r ptgsched.CampaignPointResult) error {
+			if sink != nil {
+				line, err := json.Marshal(r)
+				if err != nil {
+					return err
+				}
+				sink.Write(line)
+				sink.WriteByte('\n')
+			}
+			return agg.Add(r)
+		})
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d of %d points to %s\n", agg.Added(), e.NumPoints(), jsonlPath)
+	}
+	tables, err := agg.Tables()
+	if err != nil {
+		return err
+	}
+	return renderCampaign(w, specPath, e, tables)
 }
 
 // mergeInputs expands the -merge argument: each comma-separated entry is
@@ -286,16 +417,18 @@ func mergeInputs(merge, specDigest string) ([]string, error) {
 // the store, run the pending points of the selected shard (or the whole
 // expansion), and — when the store is complete — print the aggregated
 // tables. A killed run is continued by the same invocation plus -resume.
+// During the sweep, per-shard progress (read straight off the store's
+// done bitmap) is reported to stderr every few seconds.
 func storeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, dir, shard string, resume bool, workers int) error {
 	shards := 1
-	pts := e.Points
+	set := e.All()
 	if shard != "" {
 		idx, n, err := ptgsched.ParseCampaignShard(shard)
 		if err != nil {
 			return err
 		}
 		shards = n
-		if pts, err = e.Shard(idx, n); err != nil {
+		if set, err = e.Shard(idx, n); err != nil {
 			return err
 		}
 	}
@@ -322,7 +455,16 @@ func storeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, dir,
 			dir, manShards, manShards, dir)
 	}
 
-	ran, skipped, err := st.Sweep(pts, workers)
+	stop := startProgress(func() string {
+		pr := st.Progress()
+		b := fmt.Sprintf("store %s: %d/%d points", dir, pr.Completed, pr.Total)
+		for _, sh := range pr.Shards {
+			b += fmt.Sprintf(" [shard %d: %d/%d]", sh.Index, sh.Completed, sh.Points)
+		}
+		return b
+	})
+	ran, skipped, err := st.Sweep(set, workers)
+	stop()
 	if err != nil {
 		return err
 	}
@@ -339,40 +481,22 @@ func storeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, dir,
 		fmt.Fprintf(w, "finish the remaining shards, then aggregate with -merge %s\n", dir)
 		return nil
 	}
-	return renderCampaign(w, specPath, e, st.Results())
-}
-
-// writeJSONLFile saves per-point results to path when one was requested
-// (unsharded and merge modes stream tables to stdout, so the JSONL always
-// goes to a file there).
-func writeJSONLFile(w io.Writer, path string, results []ptgsched.CampaignPointResult, total int) error {
-	if path == "" {
-		return nil
-	}
-	f, err := os.Create(path)
+	// The store aggregates by re-scanning its segments into the
+	// incremental aggregator; completed results are never resident.
+	tables, err := st.Aggregate()
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := ptgsched.WriteCampaignJSONL(f, results); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %d of %d points to %s\n", len(results), total, path)
-	return nil
+	return renderCampaign(w, specPath, e, tables)
 }
 
-// renderCampaign aggregates a complete result set and prints every cell's
-// summary tables.
-func renderCampaign(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, results []ptgsched.CampaignPointResult) error {
-	tables, err := e.Aggregate(results)
-	if err != nil {
-		return err
-	}
+// renderCampaign prints every cell's aggregated summary tables.
+func renderCampaign(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, tables []ptgsched.CampaignTable) error {
 	title := e.Spec.Name
 	if title == "" {
 		title = specPath
 	}
-	fmt.Fprintf(w, "Campaign %s: %d cells, %d points\n", title, len(e.Cells), len(e.Points))
+	fmt.Fprintf(w, "Campaign %s: %d cells, %d points\n", title, len(e.Cells), e.NumPoints())
 	for _, tb := range tables {
 		fmt.Fprintf(w, "\n--- cell %s ---\n", tb.Cell.Label)
 		for _, m := range []ptgsched.ExperimentMetric{

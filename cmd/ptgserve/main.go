@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	ptgserve -addr :8080 -workers 8 -queue 128 -timeout 60s
+//	ptgserve -addr :8080 -workers 8 -queue 128 -timeout 60s \
+//	         -max-campaign-points 16384 -max-job-points 1048576
 //
 // Endpoints:
 //
@@ -46,10 +47,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "scheduling workers (default: GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "request queue depth (default: 64)")
-		timeout = flag.Duration("timeout", 0, "per-request timeout (default: 60s)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "scheduling workers (default: GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "request queue depth (default: 64)")
+		timeout   = flag.Duration("timeout", 0, "per-request timeout (default: 60s)")
+		maxPoints = flag.Int("max-campaign-points", 0, "points one synchronous campaign may execute (default: 16384)")
+		maxExpand = flag.Int("max-campaign-expansion", 0, "total expansion a campaign request may address (default: 2^24)")
+		maxJob    = flag.Int("max-job-points", 0, "points one async job may execute (default: 2^20)")
+		maxBack   = flag.Int("max-job-backlog", 0, "total points across live jobs (default: 2^21)")
 	)
 	flag.Parse()
 
@@ -57,6 +62,12 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
+		Limits: ptgsched.ServiceLimits{
+			CampaignPoints:    *maxPoints,
+			CampaignExpansion: *maxExpand,
+			JobPoints:         *maxJob,
+			JobBacklog:        *maxBack,
+		},
 	})
 	eff := svc.Options()
 	fmt.Printf("ptgserve: listening on %s (%d workers, queue %d, timeout %s)\n",

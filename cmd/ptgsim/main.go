@@ -140,12 +140,12 @@ func campaignPoint(w io.Writer, specPath, pointKey string, list, gantt bool) err
 	}
 
 	if list {
-		fmt.Fprintf(w, "campaign %s: %d cells, %d points\n", spec.Name, len(e.Cells), len(e.Points))
+		fmt.Fprintf(w, "campaign %s: %d cells, %d points\n", spec.Name, len(e.Cells), e.NumPoints())
 		for _, c := range e.Cells {
 			fmt.Fprintf(w, "  cell %d: %s (%d strategies)\n", c.Index, c.Label, len(c.Config.Strategies))
 		}
-		fmt.Fprintf(w, "first point: %s\n", e.Points[0].Name)
-		fmt.Fprintf(w, "last point : %s\n", e.Points[len(e.Points)-1].Name)
+		fmt.Fprintf(w, "first point: %s\n", e.PointAt(0).Name)
+		fmt.Fprintf(w, "last point : %s\n", e.PointAt(e.NumPoints()-1).Name)
 		return nil
 	}
 	if pointKey == "" {

@@ -211,7 +211,7 @@ func ExampleParseCampaignSpec() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("%d cells, %d points\n", len(e.Cells), len(e.Points))
+	fmt.Printf("%d cells, %d points\n", len(e.Cells), e.NumPoints())
 
 	shard, err := e.Shard(0, 2) // every 2nd point; run the rest elsewhere
 	if err != nil {

@@ -13,6 +13,7 @@ package benchsuite
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"ptgsched/internal/experiment"
 	"ptgsched/internal/mapping"
 	"ptgsched/internal/platform"
+	"ptgsched/internal/scenario"
 	"ptgsched/internal/service"
 	"ptgsched/internal/sim"
 )
@@ -48,6 +50,9 @@ func Suite() []Case {
 		{CampaignWorkers1, func(b *testing.B) { CampaignThroughput(b, 1) }},
 		{CampaignWorkers8, func(b *testing.B) { CampaignThroughput(b, 8) }},
 		{ServiceThroughput8, func(b *testing.B) { ServiceSchedule(b, 8) }},
+		{"CampaignExpand1M", CampaignExpand1M},
+		{"CampaignAggregate40kStreaming", func(b *testing.B) { CampaignAggregate40k(b, true) }},
+		{"CampaignAggregate40kMaterialized", func(b *testing.B) { CampaignAggregate40k(b, false) }},
 	}
 }
 
@@ -136,6 +141,132 @@ func ServiceSchedule(b *testing.B, clients int) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// CampaignExpand1M measures the lazy expansion of a one-million-point
+// campaign spec: Expand resolves the cells and the arithmetic enumeration
+// state, and a handful of PointAt probes exercise O(1) random access
+// across the whole sweep. Before the streaming refactor this spec was
+// over the engine's materialization cap entirely; the benchmark pins the
+// property that expansion cost is per-cell, not per-point.
+func CampaignExpand1M(b *testing.B) {
+	spec, err := scenario.ParseSpec([]byte(
+		`{"name":"expand1m","seed":7,"reps":50000,"families":[{"family":"strassen"}]}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := scenario.Expand(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if e.NumPoints() != 1_000_000 { // 1 cell × 5 NPTGs × 50000 reps × 4 sites
+			b.Fatalf("expansion has %d points", e.NumPoints())
+		}
+		for _, idx := range []int{0, 123_457, 500_000, 999_999} {
+			if p := e.PointAt(idx); p.Index != idx || p.Name == "" {
+				b.Fatalf("PointAt(%d) = %+v", idx, p)
+			}
+		}
+	}
+}
+
+// CampaignAggregate40k contrasts the two aggregation shapes over a
+// 40,000-point sweep of synthetic results: streaming feeds each record
+// straight into the incremental Aggregator (live memory = the fixed
+// reduction slots), materialized builds the full []PointResult first (the
+// pre-refactor pipeline shape) and then aggregates. Besides ns/op and
+// allocs/op, each run reports the live heap held just before
+// finalization as "live-heap-bytes" — the number PERFORMANCE.md quotes
+// for the memory-model change.
+func CampaignAggregate40k(b *testing.B, streaming bool) {
+	spec, err := scenario.ParseSpec([]byte(
+		`{"name":"agg40k","seed":3,"reps":5000,"nptgs":[2,4],"families":[{"family":"strassen"}]}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := scenario.Expand(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := e.NumPoints()
+	if n != 40_000 {
+		b.Fatalf("aggregation spec expands to %d points", n)
+	}
+	ns := len(e.Cells[0].Config.Strategies)
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	base := m0.HeapAlloc
+
+	live := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var holder any
+		if streaming {
+			agg := e.NewAggregator()
+			for idx := 0; idx < n; idx++ {
+				if err := agg.Add(synthResult(e, idx, ns)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			holder = agg
+			live = liveHeapBytes(base)
+			if _, err := agg.Tables(); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			results := make([]scenario.PointResult, 0, n)
+			for idx := 0; idx < n; idx++ {
+				results = append(results, synthResult(e, idx, ns))
+			}
+			holder = results
+			live = liveHeapBytes(base)
+			if _, err := e.Aggregate(results); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runtime.KeepAlive(holder)
+	}
+	b.ReportMetric(live, "live-heap-bytes")
+}
+
+// synthResult fabricates a deterministic, realistically shaped result for
+// point idx (real name, ns strategy columns) without running the
+// scheduling pipeline — the aggregation benchmarks measure reduction
+// cost, not scheduling cost.
+func synthResult(e *scenario.Expansion, idx, ns int) scenario.PointResult {
+	p := e.PointAt(idx)
+	r := scenario.PointResult{
+		Index:      idx,
+		Cell:       p.Cell,
+		Name:       p.Name,
+		Unfairness: make([]float64, ns),
+		Makespan:   make([]float64, ns),
+		Rel:        make([]float64, ns),
+	}
+	for s := 0; s < ns; s++ {
+		r.Unfairness[s] = float64(idx%97)/97 + float64(s)*0.01
+		r.Makespan[s] = 1000 + float64(idx%1013) + float64(s)
+		r.Rel[s] = 1 + float64(s)*0.1
+	}
+	return r
+}
+
+// liveHeapBytes forces a collection and returns the live heap above the
+// pre-benchmark baseline.
+func liveHeapBytes(base uint64) float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc < base {
+		return 0
+	}
+	return float64(m.HeapAlloc - base)
 }
 
 // MapLarge measures the mapping stage alone at production scale: 20 PTGs

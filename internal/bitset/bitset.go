@@ -1,0 +1,77 @@
+// Package bitset implements the fixed-size bitmap behind the streaming
+// campaign pipeline: the store's done-set and the aggregator's seen-set
+// track one bit per scenario point, so resumable multi-million-point
+// sweeps cost bits, not retained result structs.
+//
+// Concurrency: a Set is not synchronized; callers guard it with their own
+// mutex (the store and aggregator both do).
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-size bitmap over [0, Len()). The zero value is an empty
+// set of length 0; create sized sets with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an all-clear set over [0, n).
+func New(n int) Set {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the set's capacity (the n passed to New).
+func (s Set) Len() int { return s.n }
+
+// Get reports whether bit i is set. Out-of-range indices are false.
+func (s Set) Get(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i and reports whether it was already set. It panics on an
+// out-of-range index: the callers' indices are pre-validated point
+// indices, so a miss is a bug, not data.
+func (s Set) Set(i int) (was bool) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	was = s.words[w]&m != 0
+	s.words[w] |= m
+	return was
+}
+
+// Count returns the number of set bits.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [0, limit).
+func (s Set) CountRange(limit int) int {
+	if limit > s.n {
+		limit = s.n
+	}
+	if limit <= 0 {
+		return 0
+	}
+	c := 0
+	full := limit >> 6
+	for _, w := range s.words[:full] {
+		c += bits.OnesCount64(w)
+	}
+	if rem := uint(limit) & 63; rem != 0 {
+		c += bits.OnesCount64(s.words[full] & (1<<rem - 1))
+	}
+	return c
+}

@@ -1,0 +1,55 @@
+package bitset
+
+import "testing"
+
+func TestSetGetCount(t *testing.T) {
+	s := New(200)
+	if s.Len() != 200 || s.Count() != 0 {
+		t.Fatalf("fresh set: len %d count %d", s.Len(), s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 127, 199} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		if was := s.Set(i); was {
+			t.Fatalf("bit %d reported already set", i)
+		}
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if was := s.Set(64); !was {
+		t.Fatal("re-set bit not reported as already set")
+	}
+	if got := s.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		s.Set(i)
+	}
+	cases := []struct{ limit, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 2}, {65, 3}, {101, 4}, {130, 5}, {1000, 5},
+	}
+	for _, c := range cases {
+		if got := s.CountRange(c.limit); got != c.want {
+			t.Errorf("CountRange(%d) = %d, want %d", c.limit, got, c.want)
+		}
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Get(-1) || s.Get(10) {
+		t.Fatal("out-of-range Get returned true")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Set did not panic")
+		}
+	}()
+	s.Set(10)
+}

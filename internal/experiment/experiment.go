@@ -114,37 +114,22 @@ type Result struct {
 	Points []Point
 }
 
-// runKey identifies one run of the campaign.
-type runKey struct {
-	point    int // index into cfg.NPTGs
-	rep      int
-	platform int
-}
-
-// runOut carries one run's per-strategy measurements.
-type runOut struct {
-	key        runKey
-	unfairness []float64
-	makespan   []float64
-	rel        []float64
-}
-
-// Run executes the campaign and aggregates the paper's metrics.
+// Run executes the campaign and aggregates the paper's metrics. The run
+// grid is never materialized: the worker pool is driven by a bare index
+// generator (ForEach), and each index is decomposed arithmetically into
+// its (point, rep, platform) key — the same lazy-enumeration discipline
+// the scenario layer's PointAt uses.
 func Run(cfg Config) *Result {
 	cfg = cfg.Defaults()
 
-	var keys []runKey
-	for pi := range cfg.NPTGs {
-		for rep := 0; rep < cfg.Reps; rep++ {
-			for fi := range cfg.Platforms {
-				keys = append(keys, runKey{point: pi, rep: rep, platform: fi})
-			}
-		}
-	}
-
-	outs := make([]runOut, len(keys))
-	ForEach(len(keys), cfg.Workers, func(i int) {
-		outs[i] = oneRun(cfg, keys[i])
+	perPoint := cfg.Reps * len(cfg.Platforms)
+	total := len(cfg.NPTGs) * perPoint
+	outs := make([]Measurement, total)
+	ForEach(total, cfg.Workers, func(i int) {
+		// Decompose i along the (point, rep, platform) enumeration order.
+		pi := i / perPoint
+		rem := i % perPoint
+		outs[i] = RunOne(cfg, pi, rem/len(cfg.Platforms), rem%len(cfg.Platforms))
 	})
 
 	res := &Result{Config: cfg}
@@ -154,15 +139,14 @@ func Run(cfg Config) *Result {
 		perStratMak := make([][]float64, ns)
 		perStratRel := make([][]float64, ns)
 		runs := 0
-		for _, out := range outs {
-			if out.key.point != pi {
-				continue
-			}
+		// The point's runs occupy a contiguous index block, in exactly the
+		// order the materialized key slice used to enumerate them.
+		for _, out := range outs[pi*perPoint : (pi+1)*perPoint] {
 			runs++
 			for s := 0; s < ns; s++ {
-				perStratUnf[s] = append(perStratUnf[s], out.unfairness[s])
-				perStratMak[s] = append(perStratMak[s], out.makespan[s])
-				perStratRel[s] = append(perStratRel[s], out.rel[s])
+				perStratUnf[s] = append(perStratUnf[s], out.Unfairness[s])
+				perStratMak[s] = append(perStratMak[s], out.Makespan[s])
+				perStratRel[s] = append(perStratRel[s], out.Rel[s])
 			}
 		}
 		pt := Point{
@@ -227,16 +211,6 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// ForEachIndices runs fn(i) for every i in indices over the same fixed
-// worker pool as ForEach. It is the resume-aware fan-out: a caller holding
-// the set of already-completed indices (e.g. a reopened campaign store)
-// passes only the pending ones, and the sweep continues exactly where it
-// stopped — per-index work is deterministic, so skipping completed indices
-// cannot change any remaining result.
-func ForEachIndices(indices []int, workers int, fn func(i int)) {
-	ForEach(len(indices), workers, func(j int) { fn(indices[j]) })
-}
-
 // RunSeed derives a deterministic seed for one run, independent of
 // execution order. The PTG combination is shared by all platforms of the
 // same (point, rep) pair, as in the paper's "25 random combinations"
@@ -295,12 +269,6 @@ func RunOne(cfg Config, point, rep, pfIdx int) Measurement {
 	}
 	m.Rel = metrics.RelativeMakespans(m.Makespan)
 	return m
-}
-
-// oneRun adapts RunOne to the keyed form Run aggregates.
-func oneRun(cfg Config, key runKey) runOut {
-	m := RunOne(cfg, key.point, key.rep, key.platform)
-	return runOut{key: key, unfairness: m.Unfairness, makespan: m.Makespan, rel: m.Rel}
 }
 
 // String summarizes a result compactly.

@@ -77,8 +77,13 @@ func TestExampleCampaignReproducesFig3(t *testing.T) {
 	}
 	want := experiment.Run(experiment.Fig3Config(42, 25))
 
-	// Unsharded.
-	tables, err := e.Aggregate(e.Run(e.Points, 0))
+	// Unsharded, streamed through the incremental aggregator exactly as
+	// ptgbench's campaign mode runs it.
+	agg := e.NewAggregator()
+	if err := e.RunEach(e.All(), 0, agg.Add); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := agg.Tables()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,12 +98,12 @@ func TestExampleCampaignReproducesFig3(t *testing.T) {
 	// round-tripped through the JSONL wire format.
 	var merged []PointResult
 	for _, shard := range []int{3, 1, 0, 2} {
-		pts, err := e.Shard(shard, 4)
+		set, err := e.Shard(shard, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if err := WriteJSONL(&buf, e.Run(pts, 0)); err != nil {
+		if err := WriteJSONL(&buf, e.Run(set, 0)); err != nil {
 			t.Fatal(err)
 		}
 		back, err := ReadJSONL(&buf)

@@ -64,6 +64,10 @@ type Point struct {
 }
 
 // Expansion is a spec expanded into its deterministic cartesian sweep.
+// Only the aggregation cells are materialized; the scenario points are
+// generated lazily — PointAt derives any point in O(1) from its global
+// index, so the sweep's cardinality is bounded by arithmetic (MaxPoints),
+// not by memory.
 type Expansion struct {
 	Spec *Spec
 	// Platforms are the resolved platforms: named presets first, then
@@ -71,10 +75,14 @@ type Expansion struct {
 	Platforms []*platform.Platform
 	// Cells are the aggregation cells in expansion order.
 	Cells []*Cell
-	// Points is the full sweep in global order: cell-major, then NPTGs,
-	// then repetition, then platform — the exact enumeration order of
-	// experiment.Run, so aggregation reduces bit-identically.
-	Points []Point
+
+	// The lazy point-generation state: the global order is cell-major,
+	// then NPTGs, then repetition, then platform — the exact enumeration
+	// order of experiment.Run, so aggregation reduces bit-identically.
+	nptgs     []int
+	reps      int
+	perCell   int // points per cell = len(nptgs) * reps * len(Platforms)
+	numPoints int
 }
 
 // Engine-level expansion caps: Expand refuses sweeps whose cartesian
@@ -82,10 +90,17 @@ type Expansion struct {
 // (EstimatePoints) before materializing anything, so an absurd spec fails
 // in microseconds instead of exhausting memory.
 const (
-	// MaxCells bounds the number of aggregation cells of one expansion.
+	// MaxCells bounds the number of aggregation cells of one expansion
+	// (cells are the only materialized axis).
 	MaxCells = 100_000
 	// MaxPoints bounds the number of scenario points of one expansion.
-	MaxPoints = 2_000_000
+	// Points are generated lazily and the store keeps one bit per point
+	// during a sweep, so the *sweep* is disk-bounded — but the final
+	// bit-exact aggregation still holds 3 float64 slots per (point,
+	// strategy) (see Aggregator), so the cap reflects that reduction
+	// footprint (~2.4 GB per strategy column at the cap), not the old
+	// materialize-every-Point limit it replaces (which sat at 2M).
+	MaxPoints = 100_000_000
 )
 
 // EstimatePoints computes the expansion cardinality of a spec — cells and
@@ -263,28 +278,57 @@ func Expand(spec *Spec) (*Expansion, error) {
 		}
 	}
 
-	// Points: the global enumeration the shard partition and aggregation
-	// are defined over.
-	for _, c := range e.Cells {
-		for ni, n := range nptgs {
-			for rep := 0; rep < reps; rep++ {
-				for pi := range e.Platforms {
-					e.Points = append(e.Points, Point{
-						Index:    len(e.Points),
-						Cell:     c.Index,
-						NIdx:     ni,
-						Rep:      rep,
-						Platform: pi,
-						NPTGs:    n,
-						Name: fmt.Sprintf("%s/n=%d/rep=%d/%s",
-							c.Label, n, rep, e.Platforms[pi].Name),
-						Seed: experiment.RunSeed(spec.Seed, ni, rep),
-					})
-				}
-			}
-		}
-	}
+	// Points are not materialized: the global enumeration the shard
+	// partition and aggregation are defined over is arithmetic — PointAt
+	// decomposes any index into (cell, nidx, rep, platform) in O(1).
+	e.nptgs = nptgs
+	e.reps = reps
+	e.perCell = len(nptgs) * reps * len(e.Platforms)
+	e.numPoints = len(e.Cells) * e.perCell
 	return e, nil
+}
+
+// NumPoints returns the expansion cardinality: the number of scenario
+// points of the sweep.
+func (e *Expansion) NumPoints() int { return e.numPoints }
+
+// PointAt generates the point with global index i in O(1): the index is
+// decomposed along the cell-major enumeration order (cell, then NPTGs,
+// then repetition, then platform) and the point's name and seed are
+// derived from the decomposition. It panics on an out-of-range index.
+func (e *Expansion) PointAt(i int) Point {
+	if i < 0 || i >= e.numPoints {
+		panic(fmt.Sprintf("scenario: point index %d outside [0,%d)", i, e.numPoints))
+	}
+	cell := i / e.perCell
+	rem := i % e.perCell
+	nPf := len(e.Platforms)
+	ni := rem / (e.reps * nPf)
+	rem %= e.reps * nPf
+	rep := rem / nPf
+	pi := rem % nPf
+	n := e.nptgs[ni]
+	return Point{
+		Index:    i,
+		Cell:     cell,
+		NIdx:     ni,
+		Rep:      rep,
+		Platform: pi,
+		NPTGs:    n,
+		Name: fmt.Sprintf("%s/n=%d/rep=%d/%s",
+			e.Cells[cell].Label, n, rep, e.Platforms[pi].Name),
+		Seed: experiment.RunSeed(e.Spec.Seed, ni, rep),
+	}
+}
+
+// CellOf returns the cell index of point i without generating the point
+// (no name formatting); it is the O(1) identity check the aggregator and
+// the store validate incoming results against.
+func (e *Expansion) CellOf(i int) int {
+	if i < 0 || i >= e.numPoints {
+		panic(fmt.Sprintf("scenario: point index %d outside [0,%d)", i, e.numPoints))
+	}
+	return i / e.perCell
 }
 
 // gridCell is one family grid point before strategy/arrival resolution.
@@ -465,19 +509,59 @@ func ParseShard(s string) (idx, n int, err error) {
 	return idx, n, nil
 }
 
-// Shard returns the points of shard idx of n: those whose global Index is
-// congruent to idx modulo n. The n shards partition the expansion exactly;
-// running them anywhere and recombining their JSONL outputs aggregates
-// bit-identically to one unsharded run.
-func (e *Expansion) Shard(idx, n int) ([]Point, error) {
+// IndexSet selects a subset of an expansion's global point indices by
+// predicate instead of by materialized slice: the indices i with
+// Offset ≤ i < Limit and i ≡ Offset (mod Stride). It is the shape of every
+// point selection in the pipeline — the full sweep (Stride 1), one shard
+// of n (Stride n), or a prefix (Limit < NumPoints) — and it costs three
+// ints regardless of how many points it selects.
+type IndexSet struct {
+	// Limit is the exclusive upper bound on selected indices (normally the
+	// expansion's NumPoints).
+	Limit int
+	// Offset is the first selected index.
+	Offset int
+	// Stride is the step between selected indices; values below 1 are
+	// treated as 1, so the zero value with a Limit is a plain prefix.
+	Stride int
+}
+
+// stride normalizes the step.
+func (s IndexSet) stride() int {
+	if s.Stride < 1 {
+		return 1
+	}
+	return s.Stride
+}
+
+// Len returns the number of selected indices.
+func (s IndexSet) Len() int {
+	if s.Limit <= s.Offset {
+		return 0
+	}
+	return (s.Limit-s.Offset-1)/s.stride() + 1
+}
+
+// At returns the j-th selected index (0 ≤ j < Len()), in increasing order.
+func (s IndexSet) At(j int) int { return s.Offset + j*s.stride() }
+
+// Contains reports whether the set selects global index i.
+func (s IndexSet) Contains(i int) bool {
+	return i >= s.Offset && i < s.Limit && (i-s.Offset)%s.stride() == 0
+}
+
+// All selects every point of the expansion.
+func (e *Expansion) All() IndexSet {
+	return IndexSet{Limit: e.numPoints, Stride: 1}
+}
+
+// Shard returns the index set of shard idx of n: the points whose global
+// index is congruent to idx modulo n. The n shards partition the expansion
+// exactly; running them anywhere and recombining their JSONL outputs
+// aggregates bit-identically to one unsharded run.
+func (e *Expansion) Shard(idx, n int) (IndexSet, error) {
 	if n < 1 || idx < 0 || idx >= n {
-		return nil, fmt.Errorf("scenario: shard %d/%d out of range", idx, n)
+		return IndexSet{}, fmt.Errorf("scenario: shard %d/%d out of range", idx, n)
 	}
-	var pts []Point
-	for _, p := range e.Points {
-		if p.Index%n == idx {
-			pts = append(pts, p)
-		}
-	}
-	return pts, nil
+	return IndexSet{Limit: e.numPoints, Offset: idx, Stride: n}, nil
 }

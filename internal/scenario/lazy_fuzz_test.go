@@ -1,0 +1,153 @@
+package scenario
+
+// FuzzLazyExpansionMatchesMaterialized is the property-based proof behind
+// the streaming refactor: for fuzzer-chosen spec shapes, the lazy
+// generator (PointAt over the arithmetic enumeration) must equal a
+// reference materialization — the exact nested-loop enumeration the
+// pre-refactor Expansion.Points slice was built with — point for point,
+// field for field, and the IndexSet shard partition must select exactly
+// the indices the old modulo filter over the materialized slice selected.
+// The checked-in corpus under testdata/fuzz covers multi-cell grids,
+// online cells, multi-platform specs and degenerate single-point sweeps;
+// `go test` replays it on every run, `go test -fuzz` explores beyond it.
+
+import (
+	"fmt"
+	"testing"
+
+	"ptgsched/internal/experiment"
+)
+
+// materializePoints is the reference enumeration: the nested cell → NPTGs
+// → repetition → platform loops that used to build Expansion.Points
+// eagerly, kept here as the oracle the lazy generator is checked against.
+func materializePoints(e *Expansion) []Point {
+	var pts []Point
+	reps := e.Spec.Reps
+	if reps == 0 {
+		reps = 25
+	}
+	nptgs := e.Spec.NPTGs
+	if len(nptgs) == 0 {
+		nptgs = []int{2, 4, 6, 8, 10}
+	}
+	for _, c := range e.Cells {
+		for ni, n := range nptgs {
+			for rep := 0; rep < reps; rep++ {
+				for pi := range e.Platforms {
+					pts = append(pts, Point{
+						Index:    len(pts),
+						Cell:     c.Index,
+						NIdx:     ni,
+						Rep:      rep,
+						Platform: pi,
+						NPTGs:    n,
+						Name: fmt.Sprintf("%s/n=%d/rep=%d/%s",
+							c.Label, n, rep, e.Platforms[pi].Name),
+						Seed: experiment.RunSeed(e.Spec.Seed, ni, rep),
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+func FuzzLazyExpansionMatchesMaterialized(f *testing.F) {
+	// Seed corpus: paper defaults trimmed small, a multi-cell fft grid, an
+	// online sweep, a gridded random family, and a single-point sweep.
+	f.Add(int64(42), uint8(2), uint8(2), uint8(2), uint8(0), false, uint8(3))
+	f.Add(int64(7), uint8(1), uint8(3), uint8(1), uint8(1), false, uint8(2))
+	f.Add(int64(-9), uint8(3), uint8(1), uint8(2), uint8(2), true, uint8(4))
+	f.Add(int64(1), uint8(1), uint8(1), uint8(1), uint8(0), false, uint8(1))
+	f.Add(int64(1e15), uint8(4), uint8(2), uint8(3), uint8(1), true, uint8(5))
+
+	f.Fuzz(func(t *testing.T, seed int64, repSel, nptgSel, pfSel, famSel uint8, online bool, shardSel uint8) {
+		// Derive a small but shape-diverse spec from the fuzz inputs.
+		reps := 1 + int(repSel)%4
+		nNPTGs := 1 + int(nptgSel)%3
+		nptgs := make([]int, nNPTGs)
+		for i := range nptgs {
+			nptgs[i] = 1 + i*2
+		}
+		platforms := []string{"lille", "rennes", "nancy", "sophia"}[:1+int(pfSel)%3]
+		spec := &Spec{Seed: seed, Reps: reps, NPTGs: nptgs, Platforms: platforms}
+		switch famSel % 3 {
+		case 0:
+			spec.Families = []FamilySpec{{Family: "strassen"}}
+		case 1:
+			spec.Families = []FamilySpec{{Family: "fft", K: Ints{2, 3}}, {Family: "strassen"}}
+		default:
+			spec.Families = []FamilySpec{{
+				Family: "random",
+				Tasks:  Ints{10, 20}, Widths: Floats{0.5},
+				Regularities: Floats{0.5}, Densities: Floats{0.5}, Jumps: Ints{1},
+			}}
+		}
+		if online {
+			spec.Online = &OnlineSpec{Processes: []string{"burst", "poisson"}, Rates: Floats{0.25}}
+		}
+		if err := spec.validate(); err != nil {
+			t.Skip()
+		}
+		e, err := Expand(spec)
+		if err != nil {
+			t.Skip()
+		}
+
+		want := materializePoints(e)
+		if got := e.NumPoints(); got != len(want) {
+			t.Fatalf("NumPoints() = %d, materialized enumeration has %d", got, len(want))
+		}
+		for i, w := range want {
+			got := e.PointAt(i)
+			if got != w {
+				t.Fatalf("PointAt(%d) = %+v, materialized point is %+v", i, got, w)
+			}
+			if e.CellOf(i) != w.Cell {
+				t.Fatalf("CellOf(%d) = %d, want %d", i, e.CellOf(i), w.Cell)
+			}
+		}
+
+		// The shard partition must select exactly the indices the modulo
+		// filter over the materialized slice selects, and the n shards
+		// must partition the sweep.
+		n := 1 + int(shardSel)%5
+		if n > len(want) {
+			n = len(want)
+		}
+		covered := make([]bool, len(want))
+		for idx := 0; idx < n; idx++ {
+			set, err := e.Shard(idx, n)
+			if err != nil {
+				t.Fatalf("Shard(%d,%d): %v", idx, n, err)
+			}
+			var ref []int
+			for _, p := range want {
+				if p.Index%n == idx {
+					ref = append(ref, p.Index)
+				}
+			}
+			if set.Len() != len(ref) {
+				t.Fatalf("shard %d/%d: Len() = %d, reference has %d", idx, n, set.Len(), len(ref))
+			}
+			for j, wantIdx := range ref {
+				if got := set.At(j); got != wantIdx {
+					t.Fatalf("shard %d/%d: At(%d) = %d, want %d", idx, n, j, got, wantIdx)
+				}
+				if !set.Contains(wantIdx) {
+					t.Fatalf("shard %d/%d does not contain its member %d", idx, n, wantIdx)
+				}
+				if covered[wantIdx] {
+					t.Fatalf("point %d selected by two shards", wantIdx)
+				}
+				covered[wantIdx] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("point %d selected by no shard of %d", i, n)
+			}
+		}
+	})
+}

@@ -88,7 +88,7 @@ func TestExpandDefaultsMatchPaperProtocol(t *testing.T) {
 	if len(e.Cells) != 1 {
 		t.Fatalf("%d cells, want 1", len(e.Cells))
 	}
-	if got, want := len(e.Points), 5*25*4; got != want {
+	if got, want := e.NumPoints(), 5*25*4; got != want {
 		t.Fatalf("%d points, want %d", got, want)
 	}
 	if got, want := len(e.Cells[0].Config.Strategies), 8; got != want {
@@ -96,14 +96,14 @@ func TestExpandDefaultsMatchPaperProtocol(t *testing.T) {
 	}
 	// Global order is cell → nptgs → rep → platform, and platforms of the
 	// same repetition share the scenario seed.
-	if e.Points[0].Seed != e.Points[3].Seed {
+	if e.PointAt(0).Seed != e.PointAt(3).Seed {
 		t.Fatal("platforms of one repetition do not share a seed")
 	}
-	if e.Points[0].Seed == e.Points[4].Seed {
+	if e.PointAt(0).Seed == e.PointAt(4).Seed {
 		t.Fatal("distinct repetitions share a seed")
 	}
-	for i, p := range e.Points {
-		if p.Index != i {
+	for i := 0; i < e.NumPoints(); i++ {
+		if p := e.PointAt(i); p.Index != i {
 			t.Fatalf("point %d has index %d", i, p.Index)
 		}
 	}
@@ -179,7 +179,7 @@ func TestInlineHeterogeneousPlatform(t *testing.T) {
 	if e.Platforms[1].Name != "skewed" || e.Platforms[1].Heterogeneity() < 7.9 {
 		t.Fatalf("inline platform not resolved: %v", e.Platforms[1])
 	}
-	res := e.Run(e.Points, 1)
+	res := e.Run(e.All(), 1)
 	if len(res) != 2 {
 		t.Fatalf("%d results, want 2", len(res))
 	}
@@ -203,7 +203,7 @@ func TestAggregateBitIdenticalToExperimentRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := mustExpand(t, spec)
-	tables, err := e.Aggregate(e.Run(e.Points, 4))
+	tables, err := e.Aggregate(e.Run(e.All(), 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,19 +233,19 @@ func TestShardsRecombineBitIdentically(t *testing.T) {
 	spec.Platforms = []string{"lille", "rennes"}
 	e := mustExpand(t, spec)
 
-	full, err := e.Aggregate(e.Run(e.Points, 2))
+	full, err := e.Aggregate(e.Run(e.All(), 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var merged []PointResult
 	for _, shard := range []int{2, 0, 3, 1} { // deliberately out of order
-		pts, err := e.Shard(shard, 4)
+		set, err := e.Shard(shard, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		if err := WriteJSONL(&buf, e.Run(pts, 2)); err != nil {
+		if err := WriteJSONL(&buf, e.Run(set, 2)); err != nil {
 			t.Fatal(err)
 		}
 		back, err := ReadJSONL(&buf)
@@ -254,8 +254,8 @@ func TestShardsRecombineBitIdentically(t *testing.T) {
 		}
 		merged = append(merged, back...)
 	}
-	if len(merged) != len(e.Points) {
-		t.Fatalf("shards cover %d of %d points", len(merged), len(e.Points))
+	if len(merged) != e.NumPoints() {
+		t.Fatalf("shards cover %d of %d points", len(merged), e.NumPoints())
 	}
 	recombined, err := e.Aggregate(merged)
 	if err != nil {
@@ -268,17 +268,24 @@ func TestShardsRecombineBitIdentically(t *testing.T) {
 
 func TestShardPartitionExact(t *testing.T) {
 	e := mustExpand(t, &Spec{Seed: 1, Reps: 2, NPTGs: []int{2, 3}, Platforms: []string{"lille", "nancy"}})
-	seen := make([]bool, len(e.Points))
+	seen := make([]bool, e.NumPoints())
 	for i := 0; i < 3; i++ {
-		pts, err := e.Shard(i, 3)
+		set, err := e.Shard(i, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, p := range pts {
-			if seen[p.Index] {
-				t.Fatalf("point %d in two shards", p.Index)
+		for j := 0; j < set.Len(); j++ {
+			idx := set.At(j)
+			if !set.Contains(idx) {
+				t.Fatalf("set does not contain its own member %d", idx)
 			}
-			seen[p.Index] = true
+			if p := e.PointAt(idx); p.Index != idx {
+				t.Fatalf("PointAt(%d) has index %d", idx, p.Index)
+			}
+			if seen[idx] {
+				t.Fatalf("point %d in two shards", idx)
+			}
+			seen[idx] = true
 		}
 	}
 	for i, s := range seen {
@@ -317,9 +324,9 @@ func TestEstimatePointsMatchesExpansion(t *testing.T) {
 			t.Fatalf("EstimatePoints(%s): %v", src, err)
 		}
 		e := mustExpand(t, s)
-		if cells != len(e.Cells) || points != len(e.Points) {
+		if cells != len(e.Cells) || points != e.NumPoints() {
 			t.Errorf("spec %s: estimate (%d cells, %d points) vs expansion (%d, %d)",
-				src, cells, points, len(e.Cells), len(e.Points))
+				src, cells, points, len(e.Cells), e.NumPoints())
 		}
 	}
 }
@@ -352,7 +359,7 @@ func TestExpandRejectsOversizedSweepsWithoutMaterializing(t *testing.T) {
 func TestAggregateRejectsIncompleteAndDuplicates(t *testing.T) {
 	e := mustExpand(t, &Spec{Seed: 1, Reps: 1, NPTGs: []int{2}, Platforms: []string{"lille", "nancy"},
 		Families: []FamilySpec{{Family: "strassen"}}})
-	res := e.Run(e.Points, 1)
+	res := e.Run(e.All(), 1)
 	if _, err := e.Aggregate(res[:1]); err == nil {
 		t.Fatal("incomplete result set accepted")
 	}
@@ -366,7 +373,7 @@ func TestAggregateRejectsIncompleteAndDuplicates(t *testing.T) {
 func TestJSONLRoundTripsBitExactly(t *testing.T) {
 	e := mustExpand(t, &Spec{Seed: 3, Reps: 1, NPTGs: []int{2}, Platforms: []string{"sophia"},
 		Families: []FamilySpec{{Family: "fft"}}})
-	res := e.Run(e.Points, 1)
+	res := e.Run(e.All(), 1)
 	var buf bytes.Buffer
 	if err := WriteJSONL(&buf, res); err != nil {
 		t.Fatal(err)
@@ -396,8 +403,8 @@ func TestOnlineSweepDeterministicAndLabeled(t *testing.T) {
 	if !strings.Contains(e.Cells[1].Label, "poisson@0.25") {
 		t.Fatalf("cell label %q missing process point", e.Cells[1].Label)
 	}
-	r1 := e.Run(e.Points, 1)
-	r2 := e.Run(e.Points, 3)
+	r1 := e.Run(e.All(), 1)
+	r2 := e.Run(e.All(), 3)
 	if !reflect.DeepEqual(r1, r2) {
 		t.Fatal("online sweep depends on worker count")
 	}

@@ -5,7 +5,12 @@
 // expanded into a deterministic cartesian sweep of scenario points, run
 // over internal/experiment's worker pool (optionally partitioned into
 // shards), streamed as JSONL per-point results, and aggregated back into
-// the paper's summary metrics.
+// the paper's summary metrics. The sweep is lazy end to end: only the
+// aggregation cells are materialized — points are generated in O(1) from
+// their global index (Expansion.PointAt), selections are IndexSet
+// predicates, and the incremental Aggregator reduces results arriving in
+// any order into fixed slots — so campaign cardinality is bounded by
+// MaxPoints arithmetic, not by memory.
 //
 // The expansion order, per-point seeding (experiment.RunSeed) and
 // aggregation order are exactly those of experiment.Run, so a spec

@@ -8,6 +8,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ptgsched/internal/dag"
 	"ptgsched/internal/daggen"
@@ -95,16 +99,77 @@ func flowUnfairness(flows []float64) float64 {
 	return u
 }
 
-// Run executes the given points (all of them, or one shard) over a fixed
+// Run executes the set's points (all of them, or one shard) over a fixed
 // pool of workers goroutines (0 = GOMAXPROCS, ≤1 = inline) and returns
 // their results in point order. Results are bit-identical at every worker
-// count: each point derives its whole scenario from its own seed.
-func (e *Expansion) Run(points []Point, workers int) []PointResult {
-	outs := make([]PointResult, len(points))
-	experiment.ForEach(len(points), workers, func(i int) {
-		outs[i] = e.RunPoint(points[i])
+// count: each point derives its whole scenario from its own seed. The
+// result slice is materialized; sweeps too large for that stream through
+// RunEach (or a store.Sweep) instead.
+func (e *Expansion) Run(set IndexSet, workers int) []PointResult {
+	outs := make([]PointResult, set.Len())
+	experiment.ForEach(set.Len(), workers, func(j int) {
+		outs[j] = e.RunPoint(e.PointAt(set.At(j)))
 	})
 	return outs
+}
+
+// RunEach executes the set's points over the same worker pool, delivering
+// each result to emit as it completes instead of materializing a slice —
+// the streaming form of Run. emit calls are serialized (one at a time,
+// under an internal mutex) but arrive in completion order, not point
+// order; callers needing order feed an Aggregator, which accepts any
+// order. The first emit error stops the sweep (already-running points
+// drain) and is returned.
+func (e *Expansion) RunEach(set IndexSet, workers int, emit func(PointResult) error) error {
+	return e.runEach(set, workers, false, emit)
+}
+
+// RunEachIsolated is RunEach with per-point panic isolation: a panicking
+// point (a degenerate generated scenario) is converted into the returned
+// error instead of unwinding a worker goroutine. The service layer
+// streams campaigns through it so one bad point fails one request, not
+// the process.
+func (e *Expansion) RunEachIsolated(set IndexSet, workers int, emit func(PointResult) error) error {
+	return e.runEach(set, workers, true, emit)
+}
+
+func (e *Expansion) runEach(set IndexSet, workers int, isolate bool, emit func(PointResult) error) error {
+	var (
+		mu       sync.Mutex
+		firstErr error
+		stop     atomic.Bool
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	experiment.ForEach(set.Len(), workers, func(j int) {
+		if stop.Load() {
+			return
+		}
+		if isolate {
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("scenario: point %d panicked: %v", set.At(j), r))
+				}
+			}()
+		}
+		r := e.RunPoint(e.PointAt(set.At(j)))
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			return
+		}
+		if err := emit(r); err != nil {
+			firstErr = err
+			stop.Store(true)
+		}
+	})
+	return firstErr
 }
 
 // WriteJSONL streams results as JSON Lines: one compact PointResult object
@@ -122,10 +187,12 @@ func WriteJSONL(w io.Writer, results []PointResult) error {
 	return bw.Flush()
 }
 
-// ReadJSONL loads results written by WriteJSONL; blank lines are skipped,
-// so concatenated shard files read back directly.
-func ReadJSONL(r io.Reader) ([]PointResult, error) {
-	var out []PointResult
+// ReadJSONLFunc streams results written by WriteJSONL through fn, one
+// record at a time, without materializing the set; blank lines are
+// skipped, so concatenated shard files read back directly. It is the
+// memory-flat reader behind merge flows: fed into an Aggregator, a
+// multi-million-point result file reduces without ever being resident.
+func ReadJSONLFunc(r io.Reader, fn func(PointResult) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
@@ -137,11 +204,23 @@ func ReadJSONL(r io.Reader) ([]PointResult, error) {
 		}
 		var pr PointResult
 		if err := json.Unmarshal(text, &pr); err != nil {
-			return nil, fmt.Errorf("scenario: jsonl line %d: %w", line, err)
+			return fmt.Errorf("scenario: jsonl line %d: %w", line, err)
 		}
-		out = append(out, pr)
+		if err := fn(pr); err != nil {
+			return err
+		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// ReadJSONL loads results written by WriteJSONL into a slice — the
+// materialized convenience over ReadJSONLFunc for small result sets.
+func ReadJSONL(r io.Reader) ([]PointResult, error) {
+	var out []PointResult
+	if err := ReadJSONLFunc(r, func(pr PointResult) error {
+		out = append(out, pr)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -157,88 +236,21 @@ type Table struct {
 }
 
 // Aggregate reduces a complete result set — one unsharded run, or the
-// recombined outputs of all shards — into per-cell summary tables. The
-// reduction visits results in global point order regardless of the order
-// (or shard) they arrive in, so recombined shards aggregate bit-identically
-// to an unsharded run; it is also exactly experiment.Run's reduction, so a
-// spec mirroring a paper figure reproduces that figure's numbers.
-// Incomplete or duplicated result sets are rejected.
+// recombined outputs of all shards — into per-cell summary tables: the
+// materialized convenience over Aggregator for result sets already held in
+// a slice. Incomplete or duplicated result sets are rejected.
 func (e *Expansion) Aggregate(results []PointResult) ([]Table, error) {
-	if len(results) != len(e.Points) {
+	if len(results) != e.numPoints {
 		return nil, fmt.Errorf("scenario: %d results for %d points (missing shards?)",
-			len(results), len(e.Points))
+			len(results), e.numPoints)
 	}
-	ordered := make([]*PointResult, len(e.Points))
+	agg := e.NewAggregator()
 	for i := range results {
-		r := &results[i]
-		if r.Index < 0 || r.Index >= len(e.Points) {
-			return nil, fmt.Errorf("scenario: result index %d outside expansion", r.Index)
+		if err := agg.Add(results[i]); err != nil {
+			return nil, err
 		}
-		if ordered[r.Index] != nil {
-			return nil, fmt.Errorf("scenario: duplicate result for point %d", r.Index)
-		}
-		if r.Cell != e.Points[r.Index].Cell {
-			return nil, fmt.Errorf("scenario: result %d is for cell %d, expansion says %d (stale shard?)",
-				r.Index, r.Cell, e.Points[r.Index].Cell)
-		}
-		ordered[r.Index] = r
 	}
-
-	// Group results by (cell, NPTGs index) in one pass over the global
-	// point order, so the per-group reduction below visits them in exactly
-	// experiment.Run's order without rescanning e.Points per group.
-	nNPTGs := 0
-	if len(e.Cells) > 0 {
-		nNPTGs = len(e.Cells[0].Config.NPTGs)
-	}
-	groups := make([][]*PointResult, len(e.Cells)*nNPTGs)
-	for _, p := range e.Points {
-		g := p.Cell*nNPTGs + p.NIdx
-		groups[g] = append(groups[g], ordered[p.Index])
-	}
-
-	var tables []Table
-	for _, c := range e.Cells {
-		cfg := c.Config
-		ns := len(cfg.Strategies)
-		res := &experiment.Result{Config: cfg}
-		for ni, n := range cfg.NPTGs {
-			perStratUnf := make([][]float64, ns)
-			perStratMak := make([][]float64, ns)
-			perStratRel := make([][]float64, ns)
-			runs := 0
-			for _, r := range groups[c.Index*nNPTGs+ni] {
-				if len(r.Unfairness) != ns || len(r.Makespan) != ns || len(r.Rel) != ns {
-					return nil, fmt.Errorf("scenario: result %d has wrong strategy count", r.Index)
-				}
-				runs++
-				for s := 0; s < ns; s++ {
-					perStratUnf[s] = append(perStratUnf[s], r.Unfairness[s])
-					perStratMak[s] = append(perStratMak[s], r.Makespan[s])
-					perStratRel[s] = append(perStratRel[s], r.Rel[s])
-				}
-			}
-			pt := experiment.Point{
-				NPTGs:          n,
-				Unfairness:     make([]float64, ns),
-				AvgMakespan:    make([]float64, ns),
-				RelMakespan:    make([]float64, ns),
-				UnfairnessStd:  make([]float64, ns),
-				RelMakespanStd: make([]float64, ns),
-				Runs:           runs,
-			}
-			for s := 0; s < ns; s++ {
-				pt.Unfairness[s] = metrics.Mean(perStratUnf[s])
-				pt.AvgMakespan[s] = metrics.Mean(perStratMak[s])
-				pt.RelMakespan[s] = metrics.Mean(perStratRel[s])
-				pt.UnfairnessStd[s] = metrics.StdDev(perStratUnf[s])
-				pt.RelMakespanStd[s] = metrics.StdDev(perStratRel[s])
-			}
-			res.Points = append(res.Points, pt)
-		}
-		tables = append(tables, Table{Cell: c, Result: res})
-	}
-	return tables, nil
+	return agg.Tables()
 }
 
 // SortResults orders results by point index in place (shard files may be
@@ -249,21 +261,79 @@ func SortResults(results []PointResult) {
 }
 
 // FindPoint resolves a point by canonical name or decimal global index.
+// The name form is parsed back into its (cell, NPTGs, repetition,
+// platform) coordinates and the index computed arithmetically — O(cells),
+// never a scan over the (possibly enormous) point space.
 func (e *Expansion) FindPoint(key string) (Point, error) {
 	var idx int
 	if _, err := fmt.Sscanf(key, "%d", &idx); err == nil && fmt.Sprintf("%d", idx) == key {
-		if idx < 0 || idx >= len(e.Points) {
-			return Point{}, fmt.Errorf("scenario: point index %d outside [0,%d)", idx, len(e.Points))
+		if idx < 0 || idx >= e.numPoints {
+			return Point{}, fmt.Errorf("scenario: point index %d outside [0,%d)", idx, e.numPoints)
 		}
-		return e.Points[idx], nil
+		return e.PointAt(idx), nil
 	}
-	for _, p := range e.Points {
-		if p.Name == key {
-			return p, nil
-		}
+	if p, ok := e.findPointByName(key); ok {
+		return p, nil
+	}
+	example := ""
+	if e.numPoints > 0 {
+		example = e.PointAt(0).Name
 	}
 	return Point{}, fmt.Errorf("scenario: no point named %q (try an index in [0,%d) or a name like %q)",
-		key, len(e.Points), e.Points[0].Name)
+		key, e.numPoints, example)
+}
+
+// findPointByName inverts the canonical "<cell>/n=<n>/rep=<rep>/<site>"
+// name: each cell label is tried as a prefix (labels never contain the
+// "/n=" separator), the remaining coordinates are parsed, and the final
+// PointAt regenerates the name to confirm the match — so an ambiguous
+// parse can reject, never mis-resolve.
+func (e *Expansion) findPointByName(key string) (Point, bool) {
+	nPf := len(e.Platforms)
+	for ci, c := range e.Cells {
+		rest, ok := strings.CutPrefix(key, c.Label+"/n=")
+		if !ok {
+			continue
+		}
+		nStr, rest, ok := strings.Cut(rest, "/rep=")
+		if !ok {
+			continue
+		}
+		repStr, pfName, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil {
+			continue
+		}
+		rep, err := strconv.Atoi(repStr)
+		if err != nil || rep < 0 || rep >= e.reps {
+			continue
+		}
+		ni := -1
+		for i, v := range e.nptgs {
+			if v == n {
+				ni = i
+				break
+			}
+		}
+		pi := -1
+		for i, pf := range e.Platforms {
+			if pf.Name == pfName {
+				pi = i
+				break
+			}
+		}
+		if ni < 0 || pi < 0 {
+			continue
+		}
+		idx := ci*e.perCell + (ni*e.reps+rep)*nPf + pi
+		if p := e.PointAt(idx); p.Name == key {
+			return p, true
+		}
+	}
+	return Point{}, false
 }
 
 // Materialize regenerates a point's scenario inputs — the platform and the

@@ -12,14 +12,12 @@ import (
 	"ptgsched/internal/scenario"
 )
 
-// Campaign caps. A service worker runs a whole campaign request as one
-// job, so the expansion must stay queue-friendly; larger sweeps are run
-// shard by shard (each request executing only its shard's points) or
-// offline with ptgbench -campaign.
+// Structural campaign caps, shared by the synchronous endpoint and the
+// job subsystem. These bound per-point cost; the *cardinality* caps —
+// points per request, total expansion, job sizes — are configurable per
+// Service through Options.Limits and default to the Default* values
+// below.
 const (
-	// MaxCampaignPoints bounds the scenario points one request may
-	// execute.
-	MaxCampaignPoints = 2048
 	// MaxCampaignNPTGs bounds the per-point batch size, matching the
 	// schedule endpoint's count cap.
 	MaxCampaignNPTGs = 64
@@ -28,15 +26,68 @@ const (
 	MaxCampaignProcs = 4096
 	// MaxCampaignClusters bounds one inline platform's cluster count.
 	MaxCampaignClusters = 64
-	// MaxCampaignExpansion bounds the total expansion a request may ask
-	// the server to materialize, sharded or not: resolve() runs on the
-	// caller's goroutine, outside the queue, so even a 1/n shard of a
-	// huge sweep must not hold the whole point list in server memory.
-	MaxCampaignExpansion = 65536
 	// MaxCampaignStrategies bounds the comparison set: every strategy
 	// entry multiplies the per-point work, so it is part of the budget.
 	MaxCampaignStrategies = 64
 )
+
+// Default admission limits. The streaming pipeline — lazy point
+// generation, slot-based aggregation, spooled job results — keeps the
+// per-point memory cost of a sweep to bits and slots, so the defaults are
+// CPU-budget numbers (how much work one request may queue), far above the
+// old materialize-everything caps.
+const (
+	// DefaultMaxCampaignPoints bounds the points one synchronous request
+	// executes. A campaign occupies one pool worker for its whole sweep,
+	// so this is a latency budget, not a memory one.
+	DefaultMaxCampaignPoints = 16_384
+	// DefaultMaxCampaignExpansion bounds the total expansion a request
+	// may sweep a shard of. Expansion cardinality is arithmetic
+	// (EstimatePoints) and points are generated lazily, so the cap
+	// reflects how much of a sweep may be aggregated per request, not
+	// what fits in server memory.
+	DefaultMaxCampaignExpansion = 1 << 24
+	// DefaultMaxJobPoints bounds one asynchronous job. Job results spool
+	// to disk (13 bytes per point resident), so the budget is wall-clock
+	// and spool space; truly unbounded sweeps belong to
+	// ptgbench -campaign -store.
+	DefaultMaxJobPoints = 1 << 20
+	// DefaultMaxJobBacklog bounds the total points across all live jobs.
+	DefaultMaxJobBacklog = 2 << 20
+)
+
+// Limits are the per-Service campaign and job admission caps, set through
+// Options.Limits; zero fields take the Default* constants.
+type Limits struct {
+	// CampaignPoints bounds the points one synchronous campaign request
+	// may execute.
+	CampaignPoints int
+	// CampaignExpansion bounds the total expansion a synchronous request
+	// may address, sharded or not.
+	CampaignExpansion int
+	// JobPoints bounds the expansion of one asynchronous job.
+	JobPoints int
+	// JobBacklog bounds the total points across all live (queued or
+	// running) jobs.
+	JobBacklog int
+}
+
+// withDefaults fills unset fields.
+func (l Limits) withDefaults() Limits {
+	if l.CampaignPoints <= 0 {
+		l.CampaignPoints = DefaultMaxCampaignPoints
+	}
+	if l.CampaignExpansion <= 0 {
+		l.CampaignExpansion = DefaultMaxCampaignExpansion
+	}
+	if l.JobPoints <= 0 {
+		l.JobPoints = DefaultMaxJobPoints
+	}
+	if l.JobBacklog <= 0 {
+		l.JobBacklog = DefaultMaxJobBacklog
+	}
+	return l
+}
 
 // CampaignRequest describes one declarative campaign sweep: an inline
 // scenario spec (the scenario package's JSON format, also the format of
@@ -94,10 +145,12 @@ type CampaignResponse struct {
 	ElapsedMS float64                `json:"elapsed_ms"`
 }
 
-// campaignScenario is a CampaignRequest resolved and expanded.
+// campaignScenario is a CampaignRequest resolved and expanded. The
+// executed share is an index set (a predicate over the lazy expansion),
+// never a materialized point slice.
 type campaignScenario struct {
 	expansion *scenario.Expansion
-	points    []scenario.Point
+	set       scenario.IndexSet
 	shard     string
 	workers   int
 }
@@ -105,7 +158,7 @@ type campaignScenario struct {
 // resolve parses, validates and expands the request on the caller's
 // goroutine, so malformed or oversized campaigns fail fast without a
 // queue slot.
-func (r CampaignRequest) resolve() (campaignScenario, error) {
+func (r CampaignRequest) resolve(lim Limits) (campaignScenario, error) {
 	var cs campaignScenario
 	if len(r.Spec) == 0 {
 		return cs, fmt.Errorf("service: campaign request needs a spec")
@@ -116,8 +169,8 @@ func (r CampaignRequest) resolve() (campaignScenario, error) {
 	}
 
 	// Reject oversized sweeps arithmetically before the expansion
-	// materializes anything: the shard selector divides the executed
-	// share, so it enters the budget check, not the expansion.
+	// resolves anything: the shard selector divides the executed share,
+	// so it enters the budget check, not the expansion.
 	shardN := 1
 	var shardIdx int
 	if r.Shard != "" {
@@ -127,29 +180,29 @@ func (r CampaignRequest) resolve() (campaignScenario, error) {
 	}
 	if _, points, err := scenario.EstimatePoints(spec); err != nil {
 		return cs, err
-	} else if points > MaxCampaignExpansion {
+	} else if points > lim.CampaignExpansion {
 		return cs, fmt.Errorf("service: campaign expands to %d points, server cap is %d even sharded (use ptgbench -campaign for larger sweeps)",
-			points, MaxCampaignExpansion)
-	} else if points > MaxCampaignPoints*shardN {
+			points, lim.CampaignExpansion)
+	} else if points > lim.CampaignPoints*shardN {
 		return cs, fmt.Errorf("service: campaign would execute ~%d points per shard, cap is %d (shard it further, or use ptgbench -campaign)",
-			points/shardN, MaxCampaignPoints)
+			points/shardN, lim.CampaignPoints)
 	}
 
 	e, err := scenario.Expand(spec)
 	if err != nil {
 		return cs, err
 	}
-	pts := e.Points
+	set := e.All()
 	if r.Shard != "" {
-		if pts, err = e.Shard(shardIdx, shardN); err != nil {
+		if set, err = e.Shard(shardIdx, shardN); err != nil {
 			return cs, err
 		}
 	}
-	if len(pts) > MaxCampaignPoints {
+	if set.Len() > lim.CampaignPoints {
 		return cs, fmt.Errorf("service: campaign executes %d points, cap is %d (shard it, or use ptgbench -campaign)",
-			len(pts), MaxCampaignPoints)
+			set.Len(), lim.CampaignPoints)
 	}
-	cs = campaignScenario{expansion: e, points: pts, shard: r.Shard, workers: clampWorkers(r.Workers)}
+	cs = campaignScenario{expansion: e, set: set, shard: r.Shard, workers: clampWorkers(r.Workers)}
 	return cs, nil
 }
 
@@ -170,20 +223,20 @@ func clampWorkers(w int) int {
 // points run on ForEach's own goroutines, outside runSafely's recover,
 // where a panicking point (a degenerate generated scenario) would kill the
 // whole process instead of failing the one request.
-func runPoints(e *scenario.Expansion, pts []scenario.Point, workers int) (outs []scenario.PointResult, err error) {
-	outs = make([]scenario.PointResult, len(pts))
+func runPoints(e *scenario.Expansion, set scenario.IndexSet, workers int) (outs []scenario.PointResult, err error) {
+	outs = make([]scenario.PointResult, set.Len())
 	var mu sync.Mutex
-	experiment.ForEach(len(pts), workers, func(i int) {
+	experiment.ForEach(set.Len(), workers, func(j int) {
 		defer func() {
 			if r := recover(); r != nil {
 				mu.Lock()
 				if err == nil {
-					err = fmt.Errorf("service: campaign point %d panicked: %v", pts[i].Index, r)
+					err = fmt.Errorf("service: campaign point %d panicked: %v", set.At(j), r)
 				}
 				mu.Unlock()
 			}
 		}()
-		outs[i] = e.RunPoint(pts[i])
+		outs[j] = e.RunPoint(e.PointAt(set.At(j)))
 	})
 	if err != nil {
 		return nil, err
@@ -191,27 +244,41 @@ func runPoints(e *scenario.Expansion, pts []scenario.Point, workers int) (outs [
 	return outs, nil
 }
 
+// runPointsInto is the streaming counterpart of runPoints: each completed
+// result is delivered to emit (serialized, in completion order) instead
+// of being materialized — the unsharded campaign path feeds a
+// scenario.Aggregator this way, so a request's memory is bounded by the
+// aggregation slots, not the result set. Panic isolation comes from
+// scenario.RunEachIsolated: one degenerate point fails one request, not
+// the process.
+func runPointsInto(e *scenario.Expansion, set scenario.IndexSet, workers int, emit func(scenario.PointResult) error) error {
+	return e.RunEachIsolated(set, workers, emit)
+}
+
 // Campaign runs one declarative campaign sweep through the worker pool.
-// It is safe for concurrent use.
+// Unsharded requests stream every completed point straight into the
+// incremental aggregator — results are never materialized; sharded
+// requests return their (cap-bounded) per-point results. It is safe for
+// concurrent use.
 func (s *Service) Campaign(ctx context.Context, req CampaignRequest) (*CampaignResponse, error) {
-	cs, err := req.resolve()
+	cs, err := req.resolve(s.opts.Limits)
 	if err != nil {
 		return nil, s.invalid(err)
 	}
 	resp, err := s.submit(ctx, "campaign", func() (any, error) {
 		started := time.Now()
-		results, err := runPoints(cs.expansion, cs.points, cs.workers)
-		if err != nil {
-			return nil, err
-		}
 		out := &CampaignResponse{
 			Name:      cs.expansion.Spec.Name,
-			Points:    len(cs.expansion.Points),
-			RunPoints: len(cs.points),
+			Points:    cs.expansion.NumPoints(),
+			RunPoints: cs.set.Len(),
 			Shard:     cs.shard,
 		}
 		if cs.shard == "" {
-			tables, err := cs.expansion.Aggregate(results)
+			agg := cs.expansion.NewAggregator()
+			if err := runPointsInto(cs.expansion, cs.set, cs.workers, agg.Add); err != nil {
+				return nil, err
+			}
+			tables, err := agg.Tables()
 			if err != nil {
 				return nil, err
 			}
@@ -235,6 +302,10 @@ func (s *Service) Campaign(ctx context.Context, req CampaignRequest) (*CampaignR
 				out.Tables = append(out.Tables, ct)
 			}
 		} else {
+			results, err := runPoints(cs.expansion, cs.set, cs.workers)
+			if err != nil {
+				return nil, err
+			}
 			out.Results = results
 		}
 		out.ElapsedMS = float64(time.Since(started).Microseconds()) / 1e3

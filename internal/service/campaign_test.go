@@ -107,7 +107,12 @@ func TestCampaignShardsRecombineThroughService(t *testing.T) {
 }
 
 func TestCampaignValidation(t *testing.T) {
-	s := newService(t, service.Options{Workers: 1})
+	// Tight admission limits so the cardinality cases exercise rejection
+	// without queuing real work; the structural caps are constants.
+	s := newService(t, service.Options{Workers: 1, Limits: service.Limits{
+		CampaignPoints:    2048,
+		CampaignExpansion: 65536,
+	}})
 	cases := []struct {
 		name string
 		req  service.CampaignRequest
@@ -135,6 +140,47 @@ func TestCampaignValidation(t *testing.T) {
 		if !errors.As(err, &verr) {
 			t.Errorf("%s: error %v, want ValidationError", tc.name, err)
 		}
+	}
+}
+
+// TestCampaignLimitsDefaultAndOverride pins the streaming-era admission
+// model: the default caps sit far above the old materialize-everything
+// values (a 4000-point expansion is admissible by default), and a service
+// can still be configured down to a tight budget.
+func TestCampaignLimitsDefaultAndOverride(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1})
+	lim := s.Options().Limits
+	if lim.CampaignPoints != service.DefaultMaxCampaignPoints ||
+		lim.CampaignExpansion != service.DefaultMaxCampaignExpansion ||
+		lim.JobPoints != service.DefaultMaxJobPoints ||
+		lim.JobBacklog != service.DefaultMaxJobBacklog {
+		t.Fatalf("default limits not applied: %+v", lim)
+	}
+	if service.DefaultMaxCampaignPoints < 4000 {
+		t.Fatalf("default campaign cap %d regressed below the old 2048-era scale", service.DefaultMaxCampaignPoints)
+	}
+	// A 4000-point expansion (reps 200, paper defaults) is admissible now;
+	// run only a 1/1000 shard of it so the test stays fast.
+	resp, err := s.Campaign(context.Background(), service.CampaignRequest{
+		Spec:  json.RawMessage(`{"seed": 1, "reps": 200}`),
+		Shard: "0/1000",
+	})
+	if err != nil {
+		t.Fatalf("4000-point campaign rejected under default limits: %v", err)
+	}
+	if resp.Points != 4000 || resp.RunPoints != 4 {
+		t.Fatalf("shard response %+v, want 4000 points / 4 run", resp)
+	}
+
+	// The same spec against a tight configured cap is refused up front.
+	tight := newService(t, service.Options{Workers: 1, Limits: service.Limits{CampaignExpansion: 100}})
+	_, err = tight.Campaign(context.Background(), service.CampaignRequest{
+		Spec:  json.RawMessage(`{"seed": 1, "reps": 200}`),
+		Shard: "0/1000",
+	})
+	var verr *service.ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("tight expansion cap not enforced: %v", err)
 	}
 }
 

@@ -7,9 +7,13 @@ package service
 // with a job id. The job's progress (completed/total points, per-shard
 // state) is polled, its completed per-point results are streamed as JSONL
 // with simple query filters while it runs, and a delete cancels it through
-// its context. Results live in server memory for the job's lifetime; the
-// durable on-disk counterpart of this subsystem is internal/store, which
-// ptgbench drives for kill/resume workflows.
+// its context. Results are never resident: each completed point is
+// appended to a per-job spool file (one JSONL line per point, the
+// campaign wire format), and the handle keeps only the line's offset and
+// length plus a ready bit — 13 bytes per point — so job size is bounded
+// by the admission limits and spool disk, not server memory. The durable,
+// resumable on-disk counterpart of this subsystem is internal/store,
+// which ptgbench drives for kill/resume workflows.
 
 import (
 	"context"
@@ -17,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -40,19 +45,13 @@ const (
 	// MaxJobs bounds the job registry: terminal jobs are evicted
 	// oldest-first to admit new ones, but live jobs are never evicted.
 	MaxJobs = 64
-	// MaxJobPoints bounds the points one job may execute. Jobs are
-	// asynchronous, so the budget is 8× the synchronous per-request cap —
-	// but it stays bounded because every job retains its results in
-	// server memory for its registry lifetime; truly large sweeps belong
-	// to ptgbench -campaign -store.
-	MaxJobPoints = 8 * MaxCampaignPoints
-	// MaxJobBacklog bounds the total points across all live (queued or
-	// running) jobs, capping the CPU backlog and result memory a burst of
-	// submissions can commit the server to.
-	MaxJobBacklog = 2 * MaxJobPoints
 	// MaxJobShards bounds the progress-reporting partition of a job.
 	MaxJobShards = 256
 )
+
+// The job size and backlog caps are configurable per Service — see
+// Limits.JobPoints / Limits.JobBacklog and the DefaultMaxJob* constants
+// in campaign.go.
 
 // Job states.
 const (
@@ -125,17 +124,85 @@ type jobHandle struct {
 
 	completed  atomic.Int64
 	perShard   []atomic.Int64
-	res        []scenario.PointResult
-	resReady   []atomic.Bool // res[i] is readable once resReady[i] is set
 	shardSizes []int
+
+	// The result spool: completed points are appended as JSONL lines to a
+	// temp file instead of being held resident. offs/lens locate point
+	// i's line; ready[i] publishes it to concurrent readers (release: the
+	// line and its offsets are written before the ready bit is set).
+	spoolMu     sync.Mutex
+	spool       *os.File
+	spoolEnd    int64
+	spoolClosed bool
+	offs        []int64
+	lens        []int32
+	ready       []atomic.Bool
 }
 
-// record publishes one completed point result (worker side).
-func (h *jobHandle) record(r scenario.PointResult) {
-	h.res[r.Index] = r
-	h.resReady[r.Index].Store(true) // release: readers Load before reading res
+// record spools one completed point result (worker side). A record
+// arriving after release (a point in flight when the job was canceled and
+// dropped) is discarded silently.
+func (h *jobHandle) record(r scenario.PointResult) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	h.spoolMu.Lock()
+	if h.spoolClosed {
+		h.spoolMu.Unlock()
+		return nil
+	}
+	off := h.spoolEnd
+	if _, err := h.spool.Write(line); err != nil {
+		h.spoolMu.Unlock()
+		return fmt.Errorf("service: spooling job point %d: %w", r.Index, err)
+	}
+	h.spoolEnd = off + int64(len(line))
+	h.offs[r.Index] = off
+	h.lens[r.Index] = int32(len(line))
+	h.spoolMu.Unlock()
+
+	h.ready[r.Index].Store(true) // release: readers Load before ReadAt
 	h.perShard[r.Index%h.shards].Add(1)
 	h.completed.Add(1)
+	return nil
+}
+
+// release closes and deletes the spool file; the job's results are gone.
+// Called when the job leaves the registry (cancel, eviction, Close).
+func (h *jobHandle) release() {
+	h.spoolMu.Lock()
+	defer h.spoolMu.Unlock()
+	if h.spoolClosed {
+		return
+	}
+	h.spoolClosed = true
+	if h.spool != nil {
+		name := h.spool.Name()
+		h.spool.Close()
+		os.Remove(name)
+	}
+}
+
+// readRecord fetches point i's spooled line. ok is false when the point
+// is not ready yet; a released spool (the job was canceled, evicted or
+// the service closed mid-stream) is an error, not a skip — a client must
+// never receive a silently truncated stream that looks complete.
+func (h *jobHandle) readRecord(i int) (line []byte, ok bool, err error) {
+	if !h.ready[i].Load() {
+		return nil, false, nil
+	}
+	h.spoolMu.Lock()
+	defer h.spoolMu.Unlock()
+	if h.spoolClosed {
+		return nil, false, fmt.Errorf("%w: %q (results released mid-stream)", ErrJobNotFound, h.id)
+	}
+	line = make([]byte, h.lens[i])
+	if _, err := h.spool.ReadAt(line, h.offs[i]); err != nil {
+		return nil, false, fmt.Errorf("service: reading spooled job point %d: %w", i, err)
+	}
+	return line, true, nil
 }
 
 // status snapshots the handle.
@@ -148,7 +215,7 @@ func (h *jobHandle) status() *JobStatus {
 		Name:       h.name,
 		State:      state,
 		SpecDigest: h.digest,
-		Points:     len(h.e.Points),
+		Points:     h.e.NumPoints(),
 		Completed:  int(h.completed.Load()),
 	}
 	if err != nil {
@@ -207,9 +274,9 @@ type jobRegistry struct {
 }
 
 // add registers a handle under a fresh id, evicting the oldest terminal
-// job if the registry is full; a registry full of live jobs, or one whose
-// live jobs already hold MaxJobBacklog points, refuses.
-func (reg *jobRegistry) add(h *jobHandle) (string, error) {
+// job (and its spool) if the registry is full; a registry full of live
+// jobs, or one whose live jobs already hold backlogCap points, refuses.
+func (reg *jobRegistry) add(h *jobHandle, backlogCap int) (string, error) {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
 	if reg.byID == nil {
@@ -218,12 +285,12 @@ func (reg *jobRegistry) add(h *jobHandle) (string, error) {
 	live := 0
 	for _, j := range reg.byID {
 		if !j.terminal() {
-			live += len(j.e.Points)
+			live += j.e.NumPoints()
 		}
 	}
-	if live+len(h.e.Points) > MaxJobBacklog {
+	if live+h.e.NumPoints() > backlogCap {
 		return "", fmt.Errorf("%w: %d points already queued or running, backlog cap is %d",
-			ErrTooManyJobs, live, MaxJobBacklog)
+			ErrTooManyJobs, live, backlogCap)
 	}
 	if len(reg.byID) >= MaxJobs {
 		oldest := ""
@@ -235,6 +302,7 @@ func (reg *jobRegistry) add(h *jobHandle) (string, error) {
 		if oldest == "" {
 			return "", ErrTooManyJobs
 		}
+		reg.byID[oldest].release()
 		delete(reg.byID, oldest)
 	}
 	reg.seq++
@@ -255,11 +323,15 @@ func (reg *jobRegistry) get(id string) (*jobHandle, error) {
 	return h, nil
 }
 
-// remove deletes a handle from the registry.
+// remove deletes a handle from the registry and releases its spool.
 func (reg *jobRegistry) remove(id string) {
 	reg.mu.Lock()
+	h := reg.byID[id]
 	delete(reg.byID, id)
 	reg.mu.Unlock()
+	if h != nil {
+		h.release()
+	}
 }
 
 // list snapshots all handles, id-ordered.
@@ -281,9 +353,18 @@ func (reg *jobRegistry) cancelAll() {
 	}
 }
 
+// releaseAll drops every job's result spool (used by Close, after the
+// workers drained).
+func (reg *jobRegistry) releaseAll() {
+	for _, h := range reg.list() {
+		h.release()
+	}
+}
+
 // resolveJob validates a job request against the campaign caps (minus the
-// synchronous per-request point cap: jobs are bounded by MaxJobPoints).
-func (r JobRequest) resolve() (*scenario.Expansion, int, int, error) {
+// synchronous per-request point cap: jobs are bounded by
+// Limits.JobPoints).
+func (r JobRequest) resolve(lim Limits) (*scenario.Expansion, int, int, error) {
 	if len(r.Spec) == 0 {
 		return nil, 0, 0, fmt.Errorf("service: job request needs a spec")
 	}
@@ -295,9 +376,9 @@ func (r JobRequest) resolve() (*scenario.Expansion, int, int, error) {
 	}
 	if _, points, err := scenario.EstimatePoints(spec); err != nil {
 		return nil, 0, 0, err
-	} else if points > MaxJobPoints {
+	} else if points > lim.JobPoints {
 		return nil, 0, 0, fmt.Errorf("service: job expands to %d points, cap is %d (use ptgbench -campaign -store for larger sweeps)",
-			points, MaxJobPoints)
+			points, lim.JobPoints)
 	}
 	e, err := scenario.Expand(spec)
 	if err != nil {
@@ -307,8 +388,8 @@ func (r JobRequest) resolve() (*scenario.Expansion, int, int, error) {
 	if shards == 0 {
 		shards = 1
 	}
-	if shards < 1 || shards > MaxJobShards || shards > len(e.Points) {
-		return nil, 0, 0, fmt.Errorf("service: %d shards for %d points (cap %d)", shards, len(e.Points), MaxJobShards)
+	if shards < 1 || shards > MaxJobShards || shards > e.NumPoints() {
+		return nil, 0, 0, fmt.Errorf("service: %d shards for %d points (cap %d)", shards, e.NumPoints(), MaxJobShards)
 	}
 	return e, shards, clampWorkers(r.Workers), nil
 }
@@ -320,9 +401,13 @@ func (r JobRequest) resolve() (*scenario.Expansion, int, int, error) {
 // or a registry full of live jobs refuses the submission. Safe for
 // concurrent use.
 func (s *Service) SubmitJob(req JobRequest) (*JobStatus, error) {
-	e, shards, workers, err := req.resolve()
+	e, shards, workers, err := req.resolve(s.opts.Limits)
 	if err != nil {
 		return nil, s.invalid(err)
+	}
+	spool, err := os.CreateTemp("", "ptgsched-job-*.jsonl")
+	if err != nil {
+		return nil, fmt.Errorf("service: creating job result spool: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &jobHandle{
@@ -336,22 +421,29 @@ func (s *Service) SubmitJob(req JobRequest) (*JobStatus, error) {
 		done:       make(chan struct{}),
 		state:      JobQueued,
 		perShard:   make([]atomic.Int64, shards),
-		res:        make([]scenario.PointResult, len(e.Points)),
-		resReady:   make([]atomic.Bool, len(e.Points)),
 		shardSizes: make([]int, shards),
+		spool:      spool,
+		offs:       make([]int64, e.NumPoints()),
+		lens:       make([]int32, e.NumPoints()),
+		ready:      make([]atomic.Bool, e.NumPoints()),
 	}
-	for i := range e.Points {
-		h.shardSizes[i%shards]++
+	n := e.NumPoints()
+	for i := range h.shardSizes {
+		h.shardSizes[i] = n / shards
+		if i < n%shards {
+			h.shardSizes[i]++
+		}
 	}
-	if _, err := s.jobs.add(h); err != nil {
+	if _, err := s.jobs.add(h, s.opts.Limits.JobBacklog); err != nil {
 		cancel()
+		h.release()
 		// A full registry or backlog is a rejection like a full queue:
 		// count it so throttled submissions show up in /v1/stats.
 		s.stats.rejected.Add(1)
 		return nil, err
 	}
 	if err := s.enqueueJob(h); err != nil {
-		s.jobs.remove(h.id)
+		s.jobs.remove(h.id) // remove releases the spool
 		cancel()
 		return nil, err
 	}
@@ -405,7 +497,7 @@ func (s *Service) enqueueJob(h *jobHandle) error {
 // would kill the whole process instead of failing the job.
 func (s *Service) runJob(h *jobHandle) error {
 	h.setState(JobRunning, nil)
-	experiment.ForEach(len(h.e.Points), h.worker, func(i int) {
+	experiment.ForEach(h.e.NumPoints(), h.worker, func(i int) {
 		if h.ctx.Err() != nil {
 			return // canceled: drain the remaining indices fast
 		}
@@ -419,7 +511,14 @@ func (s *Service) runJob(h *jobHandle) error {
 				h.cancel() // drain the remaining points fast
 			}
 		}()
-		h.record(h.e.RunPoint(h.e.Points[i]))
+		if err := h.record(h.e.RunPoint(h.e.PointAt(i))); err != nil {
+			h.mu.Lock()
+			if h.sweepErr == nil {
+				h.sweepErr = err
+			}
+			h.mu.Unlock()
+			h.cancel() // a failed spool append fails the job; drain fast
+		}
 	})
 	h.mu.Lock()
 	err := h.sweepErr
@@ -499,9 +598,12 @@ type ResultQuery struct {
 
 // JobResults streams the job's completed results as JSONL — one
 // scenario.PointResult per line, in global point order — applying the
-// query's filters. It may be called while the job is still running: it
-// streams whatever has completed so far (the wire format is bit-exact, so
-// a client can resume aggregation later). Safe for concurrent use.
+// query's filters. Lines are read back from the job's result spool file
+// (nothing is resident server-side); records needing no projection are
+// relayed byte-for-byte, and the strategy projection re-marshals through
+// the same bit-exact wire encoding, so a client can resume aggregation
+// later. It may be called while the job is still running: it streams
+// whatever has completed so far. Safe for concurrent use.
 func (s *Service) JobResults(id string, q ResultQuery, w io.Writer) error {
 	h, err := s.jobs.get(id)
 	if err != nil {
@@ -541,22 +643,33 @@ func (s *Service) JobResults(id string, q ResultQuery, w io.Writer) error {
 	}
 
 	to := q.To
-	if to == 0 || to > len(h.e.Points) {
-		to = len(h.e.Points)
+	if to == 0 || to > h.e.NumPoints() {
+		to = h.e.NumPoints()
 	}
 	for i := q.From; i < to; i++ {
-		if !h.resReady[i].Load() {
+		// The cell (and so family and strategy columns) is arithmetic on
+		// the index — filters apply without parsing the spooled line.
+		ci := h.e.CellOf(i)
+		if q.Family != "" && h.e.Cells[ci].Family.String() != q.Family {
 			continue
 		}
-		r := h.res[i]
-		cell := h.e.Cells[r.Cell]
-		if q.Family != "" && cell.Family.String() != q.Family {
-			continue
-		}
+		k := -1
 		if q.Strategy != "" {
-			k := stratIdx[r.Cell]
-			if k < 0 {
+			if k = stratIdx[ci]; k < 0 {
 				continue
+			}
+		}
+		line, ok, err := h.readRecord(i)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if k >= 0 {
+			var r scenario.PointResult
+			if err := json.Unmarshal(line, &r); err != nil {
+				return err
 			}
 			r = scenario.PointResult{
 				Index: r.Index, Cell: r.Cell, Name: r.Name,
@@ -564,12 +677,12 @@ func (s *Service) JobResults(id string, q ResultQuery, w io.Writer) error {
 				Makespan:   r.Makespan[k : k+1],
 				Rel:        r.Rel[k : k+1],
 			}
+			if line, err = json.Marshal(r); err != nil {
+				return err
+			}
+			line = append(line, '\n')
 		}
-		line, err := json.Marshal(r)
-		if err != nil {
-			return err
-		}
-		if _, err := w.Write(append(line, '\n')); err != nil {
+		if _, err := w.Write(line); err != nil {
 			return err
 		}
 	}

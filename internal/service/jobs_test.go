@@ -69,7 +69,7 @@ func TestJobRoundTrip(t *testing.T) {
 	}
 	spec, _ := scenario.ParseSpec([]byte(jobSpec))
 	e, _ := scenario.Expand(spec)
-	want, err := e.Aggregate(e.Run(e.Points, 0))
+	want, err := e.Aggregate(e.Run(e.All(), 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestJobValidation(t *testing.T) {
 		{Spec: json.RawMessage(`{"bogus":1}`)}, // unknown field
 		{Spec: json.RawMessage(jobSpec), Shards: -1},
 		{Spec: json.RawMessage(jobSpec), Shards: 100},       // > points
-		{Spec: json.RawMessage(`{"seed":1,"reps":100000}`)}, // over MaxJobPoints
+		{Spec: json.RawMessage(`{"seed":1,"reps":100000}`)}, // 2M points, over Limits.JobPoints
 	}
 	for i, req := range cases {
 		if _, err := s.SubmitJob(req); err == nil {

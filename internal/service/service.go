@@ -66,7 +66,7 @@ func (s *Service) invalid(err error) error {
 
 // Options configures a Service. The zero value is production-reasonable:
 // one worker per GOMAXPROCS, a 64-request queue, a 60-second per-request
-// timeout.
+// timeout, and the default campaign/job admission limits.
 type Options struct {
 	// Workers is the number of scheduling workers; default GOMAXPROCS.
 	Workers int
@@ -80,6 +80,9 @@ type Options struct {
 	// NoTimeout disables the per-request timeout (contexts passed by the
 	// caller still apply).
 	NoTimeout bool
+	// Limits tunes the campaign and job admission caps; zero fields take
+	// the Default* values (see Limits).
+	Limits Limits
 }
 
 // withDefaults fills unset fields.
@@ -93,6 +96,7 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 60 * time.Second
 	}
+	o.Limits = o.Limits.withDefaults()
 	return o
 }
 
@@ -166,9 +170,11 @@ func (s *Service) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	// A running campaign job would otherwise hold its worker until the
-	// sweep finishes; cancel them all so Close drains promptly.
+	// sweep finishes; cancel them all so Close drains promptly, then drop
+	// every job's result spool file — jobs are not queryable after Close.
 	s.jobs.cancelAll()
 	s.wg.Wait()
+	s.jobs.releaseAll()
 }
 
 // worker executes queued jobs until the queue closes.

@@ -35,7 +35,7 @@ func ExampleCreate() {
 	}
 	defer s.Close()
 
-	ran, skipped, err := s.Sweep(e.Points, 1)
+	ran, skipped, err := s.Sweep(e.All(), 1)
 	if err != nil {
 		panic(err)
 	}
@@ -43,7 +43,7 @@ func ExampleCreate() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("ran %d, skipped %d of %d points\n", ran, skipped, len(e.Points))
+	fmt.Printf("ran %d, skipped %d of %d points\n", ran, skipped, e.NumPoints())
 	fmt.Printf("%d summary table(s), %d rows\n", len(tables), len(tables[0].Result.Points))
 	// Output:
 	// ran 4, skipped 0 of 4 points
@@ -51,9 +51,9 @@ func ExampleCreate() {
 }
 
 // ExampleOpen resumes a killed sweep: the store is reopened (recovering a
-// torn final line if the crash hit mid-append), Resume reports what is
-// already done, and Sweep runs only the pending points — the final
-// aggregate is bit-identical to an uninterrupted run.
+// torn final line if the crash hit mid-append), the done bitmap reports
+// what is already complete, and Sweep runs only the pending points — the
+// final aggregate is bit-identical to an uninterrupted run.
 func ExampleOpen() {
 	spec, err := scenario.ParseSpec([]byte(`{
 		"name": "demo", "seed": 9, "reps": 2, "nptgs": [2, 3],
@@ -71,12 +71,13 @@ func ExampleOpen() {
 	os.RemoveAll(dir)
 	defer os.RemoveAll(dir)
 
-	// First life: the sweep is "killed" after half the points.
+	// First life: the sweep is "killed" after half the points (a prefix
+	// index set).
 	s, err := store.Create(dir, e, 1)
 	if err != nil {
 		panic(err)
 	}
-	if _, _, err := s.Sweep(e.Points[:2], 1); err != nil {
+	if _, _, err := s.Sweep(scenario.IndexSet{Limit: 2, Stride: 1}, 1); err != nil {
 		panic(err)
 	}
 	s.Close()
@@ -87,8 +88,8 @@ func ExampleOpen() {
 		panic(err)
 	}
 	defer s.Close()
-	fmt.Printf("already complete: %d points\n", len(s.Resume()))
-	ran, skipped, err := s.Sweep(e.Points, 1)
+	fmt.Printf("already complete: %d points\n", s.CountDone(e.All()))
+	ran, skipped, err := s.Sweep(e.All(), 1)
 	if err != nil {
 		panic(err)
 	}

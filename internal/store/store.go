@@ -1,7 +1,12 @@
 // Package store implements the durable campaign result store: an
 // append-only, crash-tolerant directory of per-point results that lets a
 // killed sweep resume exactly where it stopped and still aggregate
-// bit-identically to an uninterrupted run.
+// bit-identically to an uninterrupted run. The store is memory-flat: the
+// only per-point state a handle keeps is the done bitmap (one bit per
+// point) — results live on disk only, and Results/Aggregate re-scan the
+// JSONL segments, streaming each record into the caller (or the
+// scenario.Aggregator) instead of holding the set resident. Campaign size
+// is therefore bounded by disk, not RAM.
 //
 // On-disk format (documented in docs/ARCHITECTURE.md):
 //
@@ -36,10 +41,12 @@
 package store
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -47,6 +54,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ptgsched/internal/bitset"
 	"ptgsched/internal/experiment"
 	"ptgsched/internal/scenario"
 )
@@ -98,7 +106,9 @@ type Progress struct {
 }
 
 // Store is an open campaign result store. Create and Open are the two
-// constructors; Close releases the segment files.
+// constructors; Close releases the segment files. During Sweep the handle
+// holds exactly one bit of per-point state (the done bitmap); completed
+// results are never resident — Results and Aggregate re-scan the segments.
 type Store struct {
 	dir string
 	man Manifest
@@ -106,9 +116,8 @@ type Store struct {
 
 	segs []*segment
 
-	mu        sync.Mutex // guards done/results/completed
-	done      []bool     // per global point index
-	results   []scenario.PointResult
+	mu        sync.Mutex // guards done/completed
+	done      bitset.Set // one bit per global point index
 	completed int
 
 	failed atomic.Bool // sticky append-failure flag; Sweep drains fast once set
@@ -140,8 +149,8 @@ func Create(dir string, e *scenario.Expansion, shards int) (*Store, error) {
 	if shards < 1 {
 		shards = 1
 	}
-	if shards > len(e.Points) && len(e.Points) > 0 {
-		return nil, fmt.Errorf("store: %d shards for %d points", shards, len(e.Points))
+	if shards > e.NumPoints() && e.NumPoints() > 0 {
+		return nil, fmt.Errorf("store: %d shards for %d points", shards, e.NumPoints())
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -164,7 +173,7 @@ func Create(dir string, e *scenario.Expansion, shards int) (*Store, error) {
 		Version:    FormatVersion,
 		Name:       e.Spec.Name,
 		SpecDigest: scenario.SpecDigest(e.Spec),
-		Points:     len(e.Points),
+		Points:     e.NumPoints(),
 		Shards:     shards,
 	}
 	mb, err := json.MarshalIndent(man, "", "  ")
@@ -188,7 +197,7 @@ func Create(dir string, e *scenario.Expansion, shards int) (*Store, error) {
 	if err := mf.Close(); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, man: man, e: e, done: make([]bool, len(e.Points))}
+	s := &Store{dir: dir, man: man, e: e, done: bitset.New(e.NumPoints())}
 	if err := s.openSegments(); err != nil {
 		s.Close()
 		return nil, err
@@ -196,14 +205,14 @@ func Create(dir string, e *scenario.Expansion, shards int) (*Store, error) {
 	return s, nil
 }
 
-// Open opens an existing store and recovers its completed-result state:
-// each segment is scanned, a torn final line (the footprint of a crash
-// mid-append) is dropped — its point becomes pending again, and the torn
-// bytes are physically truncated just before this process first appends to
-// that segment — and every surviving record is validated against the
-// expansion. The manifest must match the expansion — same spec digest,
-// same cardinality — so stale or foreign directories fail instead of
-// resuming the wrong sweep.
+// Open opens an existing store and recovers its completed-point bitmap:
+// each segment is scanned in a streaming pass (records are validated and
+// their done bits set, never retained), a torn final line (the footprint
+// of a crash mid-append) is dropped — its point becomes pending again, and
+// the torn bytes are physically truncated just before this process first
+// appends to that segment. The manifest must match the expansion — same
+// spec digest, same cardinality — so stale or foreign directories fail
+// instead of resuming the wrong sweep.
 func Open(dir string, e *scenario.Expansion) (*Store, error) {
 	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
@@ -219,15 +228,15 @@ func Open(dir string, e *scenario.Expansion) (*Store, error) {
 	if got, want := scenario.SpecDigest(e.Spec), man.SpecDigest; got != want {
 		return nil, fmt.Errorf("store: %s was written by a different campaign spec (digest %.12s, expansion has %.12s)", dir, want, got)
 	}
-	if man.Points != len(e.Points) {
-		return nil, fmt.Errorf("store: %s records %d points, expansion has %d", dir, man.Points, len(e.Points))
+	if man.Points != e.NumPoints() {
+		return nil, fmt.Errorf("store: %s records %d points, expansion has %d", dir, man.Points, e.NumPoints())
 	}
 	if man.Shards < 1 || (man.Points > 0 && man.Shards > man.Points) {
 		// The same invariant Create enforces; a corrupt shard count must
 		// not drive openSegments into fabricating files.
 		return nil, fmt.Errorf("store: %s: invalid shard count %d for %d points", dir, man.Shards, man.Points)
 	}
-	s := &Store{dir: dir, man: man, e: e, done: make([]bool, len(e.Points))}
+	s := &Store{dir: dir, man: man, e: e, done: bitset.New(e.NumPoints())}
 	trunc := make(map[int]int64)
 	for i := 0; i < man.Shards; i++ {
 		if err := s.recoverSegment(i, trunc); err != nil {
@@ -257,74 +266,109 @@ func (s *Store) openSegments() error {
 		}
 		s.segs[i] = &segment{f: f, truncateAt: -1}
 	}
-	for i := range s.e.Points {
-		s.segs[i%s.man.Shards].points++
+	// Segment k owns the points congruent to k modulo Shards; count them
+	// arithmetically instead of enumerating the (lazy) point set.
+	n, shards := s.e.NumPoints(), s.man.Shards
+	for i := range s.segs {
+		s.segs[i].points = n / shards
+		if i < n%shards {
+			s.segs[i].points++
+		}
 	}
 	return nil
 }
 
-// recoverSegment replays one segment's records. A torn tail is dropped
-// from the recovered state and its offset recorded in trunc; the physical
+// scanSegment streams one segment's records through fn in a single
+// buffered pass, without ever holding the segment resident. It applies
+// the crash-recovery classification shared by Open and the re-scan
+// readers: a final line without a newline, or an unparsable final line,
+// is a torn tail — skipped, with the offset of the last good byte
+// returned — while a malformed line before the end is real corruption
+// and fails. A missing segment (a shard that never started) scans as
+// empty. goodEnd is the byte offset just past the last valid record;
+// size is the segment's total length.
+func (s *Store) scanSegment(idx int, fn func(scenario.PointResult) error) (goodEnd, size int64, err error) {
+	path := segmentPath(s.dir, idx)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 256*1024)
+	var off int64
+	for {
+		line, err := br.ReadBytes('\n')
+		size = off + int64(len(line))
+		if err == io.EOF {
+			// Trailing bytes without a newline: a torn final line (or a
+			// clean end when the tail is empty).
+			return off, size, nil
+		}
+		if err != nil {
+			return off, size, err
+		}
+		text := line[:len(line)-1]
+		if len(bytes.TrimSpace(text)) == 0 {
+			off = size
+			continue
+		}
+		var r scenario.PointResult
+		if err := json.Unmarshal(text, &r); err != nil {
+			// Peek: if nothing follows this line, it is the final line and
+			// parsed as garbage — a torn write (crashed between the payload
+			// and its newline landing). Anything after it means mid-segment
+			// corruption.
+			if _, peekErr := br.Peek(1); peekErr == io.EOF {
+				return off, size, nil
+			}
+			return off, size, fmt.Errorf("store: %s: corrupt record before end of segment: %w", path, err)
+		}
+		if err := s.validate(r, idx); err != nil {
+			return off, size, fmt.Errorf("store: %s: %w", path, err)
+		}
+		if err := fn(r); err != nil {
+			return off, size, err
+		}
+		off = size
+	}
+}
+
+// recoverSegment replays one segment's records into the done bitmap —
+// records themselves are not retained. A torn tail is dropped from the
+// recovered state and its offset recorded in trunc; the physical
 // truncation is deferred to the first append (see segment.truncateAt).
 func (s *Store) recoverSegment(idx int, trunc map[int]int64) error {
 	path := segmentPath(s.dir, idx)
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil // a shard that never started; its points are pending
-	}
+	good, size, err := s.scanSegment(idx, func(r scenario.PointResult) error {
+		if s.done.Set(r.Index) {
+			return fmt.Errorf("store: %s: duplicate result for point %d", path, r.Index)
+		}
+		s.completed++
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	good := 0 // byte offset after the last valid record
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			// Trailing bytes without a newline: a torn final line.
-			break
-		}
-		line := data[off : off+nl]
-		var r scenario.PointResult
-		if len(bytes.TrimSpace(line)) == 0 {
-			good = off + nl + 1
-			off = good
-			continue
-		}
-		if err := json.Unmarshal(line, &r); err != nil {
-			if off+nl+1 >= len(data) {
-				// The final line parsed as garbage: also a torn write
-				// (crashed between the payload and its newline landing).
-				break
-			}
-			return fmt.Errorf("store: %s: corrupt record before end of segment: %w", path, err)
-		}
-		if err := s.validate(r, idx); err != nil {
-			return fmt.Errorf("store: %s: %w", path, err)
-		}
-		if s.done[r.Index] {
-			return fmt.Errorf("store: %s: duplicate result for point %d", path, r.Index)
-		}
-		s.done[r.Index] = true
-		s.results = append(s.results, r)
-		s.completed++
-		good = off + nl + 1
-		off = good
-	}
-	if good < len(data) {
-		trunc[idx] = int64(good)
+	if good < size {
+		trunc[idx] = good
 	}
 	return nil
 }
 
 // validate checks one record against the expansion and the shard layout.
 func (s *Store) validate(r scenario.PointResult, seg int) error {
-	if r.Index < 0 || r.Index >= len(s.e.Points) {
-		return fmt.Errorf("point index %d outside expansion [0,%d)", r.Index, len(s.e.Points))
+	if r.Index < 0 || r.Index >= s.e.NumPoints() {
+		return fmt.Errorf("point index %d outside expansion [0,%d)", r.Index, s.e.NumPoints())
 	}
 	if r.Index%s.man.Shards != seg {
 		return fmt.Errorf("point %d does not belong to segment %d of %d", r.Index, seg, s.man.Shards)
 	}
-	if r.Cell != s.e.Points[r.Index].Cell {
-		return fmt.Errorf("point %d is for cell %d, expansion says %d", r.Index, r.Cell, s.e.Points[r.Index].Cell)
+	if r.Cell != s.e.CellOf(r.Index) {
+		return fmt.Errorf("point %d is for cell %d, expansion says %d", r.Index, r.Cell, s.e.CellOf(r.Index))
 	}
 	return nil
 }
@@ -356,12 +400,15 @@ func (s *Store) Append(r scenario.PointResult) error {
 	}
 	line = append(line, '\n')
 
+	// The done bit is claimed before the write (two racing writers must
+	// not both append); completed is counted only after the write lands,
+	// so a failed append never inflates progress reporting — the store is
+	// poisoned (ErrFailed) at that point and must be reopened anyway.
 	s.mu.Lock()
-	if s.done[r.Index] {
+	if s.done.Set(r.Index) {
 		s.mu.Unlock()
 		return fmt.Errorf("store: point %d already recorded", r.Index)
 	}
-	s.done[r.Index] = true
 	s.mu.Unlock()
 
 	seg.mu.Lock()
@@ -384,102 +431,122 @@ func (s *Store) Append(r scenario.PointResult) error {
 		s.failed.Store(true)
 		return fmt.Errorf("store: appending point %d: %w", r.Index, err)
 	}
-
 	s.mu.Lock()
-	s.results = append(s.results, r)
 	s.completed++
 	s.mu.Unlock()
 	return nil
 }
 
-// Resume returns the set of completed point indices — the points a resumed
-// sweep must skip. The scenario runner subtracts it from its point list and
-// fans only the pending indices over experiment.ForEachIndices.
-func (s *Store) Resume() map[int]bool {
+// IsDone reports whether the store already holds point i's result — the
+// predicate a resumed sweep skips completed points with.
+func (s *Store) IsDone(i int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	done := make(map[int]bool, s.completed)
-	for i, d := range s.done {
-		if d {
-			done[i] = true
-		}
-	}
-	return done
+	return s.done.Get(i)
 }
 
-// Pending filters points down to those the store has not yet recorded.
-func (s *Store) Pending(points []scenario.Point) []scenario.Point {
+// CountDone returns how many of the set's points the store already holds.
+func (s *Store) CountDone(set scenario.IndexSet) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []scenario.Point
-	for _, p := range points {
-		if !s.done[p.Index] {
-			out = append(out, p)
+	return s.countDoneLocked(set)
+}
+
+func (s *Store) countDoneLocked(set scenario.IndexSet) int {
+	if set.Offset == 0 && set.Stride <= 1 {
+		return s.done.CountRange(set.Limit)
+	}
+	n := 0
+	for j, l := 0, set.Len(); j < l; j++ {
+		if s.done.Get(set.At(j)) {
+			n++
 		}
 	}
-	return out
+	return n
 }
 
 // Progress snapshots completion per shard and overall.
 func (s *Store) Progress() Progress {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pr := Progress{Completed: s.completed, Total: len(s.e.Points)}
-	perShard := make([]int, s.man.Shards)
-	for i, d := range s.done {
-		if d {
-			perShard[i%s.man.Shards]++
-		}
-	}
+	pr := Progress{Completed: s.completed, Total: s.e.NumPoints()}
 	for i, seg := range s.segs {
-		pr.Shards = append(pr.Shards, ShardState{Index: i, Points: seg.points, Completed: perShard[i]})
+		done := s.countDoneLocked(scenario.IndexSet{Limit: s.e.NumPoints(), Offset: i, Stride: s.man.Shards})
+		pr.Shards = append(pr.Shards, ShardState{Index: i, Points: seg.points, Completed: done})
 	}
 	return pr
 }
 
-// Results returns the store's completed results in global point order. The
-// slice is a copy; for a fully-complete store it aggregates through
-// scenario.Aggregate bit-identically to an uninterrupted in-memory run.
-func (s *Store) Results() []scenario.PointResult {
-	s.mu.Lock()
-	out := make([]scenario.PointResult, len(s.results))
-	copy(out, s.results)
-	s.mu.Unlock()
+// Each re-scans the store's segments and streams every completed result
+// through fn, segment by segment, without materializing the set — the
+// memory-flat read path. Records arrive in segment order (within a
+// segment, append order), not global point order; feed a
+// scenario.Aggregator, which accepts any order. A torn trailing line
+// (from a crash that has not been resumed yet) is skipped, exactly as
+// Open's recovery classifies it.
+func (s *Store) Each(fn func(scenario.PointResult) error) error {
+	for i := 0; i < s.man.Shards; i++ {
+		if _, _, err := s.scanSegment(i, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Results re-reads the store's completed results into a slice in global
+// point order — the materialized convenience over Each for small sweeps
+// and tests; multi-million-point stores stream through Each or Aggregate
+// instead.
+func (s *Store) Results() ([]scenario.PointResult, error) {
+	var out []scenario.PointResult
+	if err := s.Each(func(r scenario.PointResult) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
-	return out
+	return out, nil
 }
 
-// Aggregate reduces a complete store into per-cell summary tables — exactly
-// scenario.Aggregate over Results, so a resumed run's summary is
-// bit-identical to an uninterrupted one.
+// Aggregate reduces a complete store into per-cell summary tables by
+// streaming the segments into a scenario.Aggregator — results are never
+// resident, so a resumed multi-million-point sweep aggregates in
+// slot-bounded memory, bit-identically to an uninterrupted run.
 func (s *Store) Aggregate() ([]scenario.Table, error) {
-	return s.e.Aggregate(s.Results())
+	agg := s.e.NewAggregator()
+	if err := s.Each(agg.Add); err != nil {
+		return nil, err
+	}
+	return agg.Tables()
 }
 
-// Sweep runs every pending point of points (a full expansion or one shard)
-// over the experiment worker pool, appending each result as it completes,
-// and reports how many points it ran and how many were already recorded.
-// Results are bit-identical at every worker count and across any
-// kill/resume split: each point derives everything from its own seed.
-func (s *Store) Sweep(points []scenario.Point, workers int) (ran, skipped int, err error) {
+// Sweep runs every pending point of the set (the full expansion or one
+// shard) over the experiment worker pool, appending each result as it
+// completes, and reports how many points it ran and how many were already
+// recorded. The set is an index predicate and the skip test is one bitmap
+// read, so a resumed sweep carries no per-point bookkeeping beyond the
+// done bitmap. Results are bit-identical at every worker count and across
+// any kill/resume split: each point derives everything from its own seed.
+func (s *Store) Sweep(set scenario.IndexSet, workers int) (ran, skipped int, err error) {
 	if s.failed.Load() {
 		return 0, 0, ErrFailed
 	}
-	pending := s.Pending(points)
-	skipped = len(points) - len(pending)
-	idx := make([]int, len(pending))
-	for i, p := range pending {
-		idx[i] = p.Index
-	}
+	skipped = s.CountDone(set)
+	pending := set.Len() - skipped
 	var (
 		errMu    sync.Mutex
 		firstErr error
 	)
-	experiment.ForEachIndices(idx, workers, func(i int) {
+	experiment.ForEach(set.Len(), workers, func(j int) {
 		if s.failed.Load() {
 			return // an earlier append failed; drain fast
 		}
-		r := s.e.RunPoint(s.e.Points[i])
+		i := set.At(j)
+		if s.IsDone(i) {
+			return
+		}
+		r := s.e.RunPoint(s.e.PointAt(i))
 		if err := s.Append(r); err != nil {
 			errMu.Lock()
 			// Keep the most informative error: a worker racing in after
@@ -494,7 +561,7 @@ func (s *Store) Sweep(points []scenario.Point, workers int) (ran, skipped int, e
 	if firstErr != nil {
 		return 0, skipped, firstErr
 	}
-	return len(pending), skipped, nil
+	return pending, skipped, nil
 }
 
 // Sync flushes every segment to stable storage (fsync). Append itself does

@@ -65,7 +65,7 @@ func TestCreateOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ran, skipped, err := s.Sweep(e.Points, 2); err != nil || ran != 8 || skipped != 0 {
+	if ran, skipped, err := s.Sweep(e.All(), 2); err != nil || ran != 8 || skipped != 0 {
 		t.Fatalf("Sweep = (%d, %d, %v), want (8, 0, nil)", ran, skipped, err)
 	}
 	want, err := s.Aggregate()
@@ -84,7 +84,7 @@ func TestCreateOpenRoundTrip(t *testing.T) {
 	if got := s2.Progress(); got.Completed != 8 || got.Total != 8 {
 		t.Fatalf("reopened progress %+v, want 8/8", got)
 	}
-	if ran, skipped, err := s2.Sweep(e.Points, 0); err != nil || ran != 0 || skipped != 8 {
+	if ran, skipped, err := s2.Sweep(e.All(), 0); err != nil || ran != 0 || skipped != 8 {
 		t.Fatalf("resumed Sweep = (%d, %d, %v), want (0, 8, nil)", ran, skipped, err)
 	}
 	got, err := s2.Aggregate()
@@ -100,7 +100,7 @@ func TestTornFinalLineIsRecoveredAndResumed(t *testing.T) {
 	e := expand(t, smokeSpec)
 
 	// The uninterrupted reference.
-	ref, err := e.Aggregate(e.Run(e.Points, 0))
+	ref, err := e.Aggregate(e.Run(e.All(), 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestTornFinalLineIsRecoveredAndResumed(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := s.Sweep(e.Points, 1); err != nil {
+			if _, _, err := s.Sweep(e.All(), 1); err != nil {
 				t.Fatal(err)
 			}
 			s.Close()
@@ -128,11 +128,13 @@ func TestTornFinalLineIsRecoveredAndResumed(t *testing.T) {
 			if pr.Completed != 7 {
 				t.Fatalf("after tear: %d completed, want 7", pr.Completed)
 			}
-			done := s2.Resume()
-			if len(done) != 7 {
-				t.Fatalf("Resume reports %d completed, want 7", len(done))
+			if got := s2.CountDone(e.All()); got != 7 {
+				t.Fatalf("CountDone reports %d completed, want 7", got)
 			}
-			if ran, skipped, err := s2.Sweep(e.Points, 2); err != nil || ran != 1 || skipped != 7 {
+			if s2.IsDone(7) {
+				t.Fatal("torn point still marked done")
+			}
+			if ran, skipped, err := s2.Sweep(e.All(), 2); err != nil || ran != 1 || skipped != 7 {
 				t.Fatalf("resumed Sweep = (%d, %d, %v), want (1, 7, nil)", ran, skipped, err)
 			}
 			got, err := s2.Aggregate()
@@ -148,7 +150,7 @@ func TestTornFinalLineIsRecoveredAndResumed(t *testing.T) {
 
 func TestShardedStoresRecombineAfterCrash(t *testing.T) {
 	e := expand(t, smokeSpec)
-	ref, err := e.Aggregate(e.Run(e.Points, 0))
+	ref, err := e.Aggregate(e.Run(e.All(), 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +209,7 @@ func TestOpenLeavesForeignSegmentsUntouched(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Sweep(e.Points, 1); err != nil {
+	if _, _, err := s.Sweep(e.All(), 1); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -244,7 +246,7 @@ func TestOpenLeavesForeignSegmentsUntouched(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s3.Close()
-	if ran, _, err := s3.Sweep(e.Points, 1); err != nil || ran != 1 {
+	if ran, _, err := s3.Sweep(e.All(), 1); err != nil || ran != 1 {
 		t.Fatalf("final resume ran %d (%v), want 1", ran, err)
 	}
 	if got := s3.Progress(); got.Completed != got.Total {
@@ -259,7 +261,7 @@ func TestOpenRejectsForeignAndCorruptStores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Sweep(e.Points, 1); err != nil {
+	if _, _, err := s.Sweep(e.All(), 1); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -312,7 +314,7 @@ func TestAppendRejectsDuplicatesAndForeignPoints(t *testing.T) {
 	}
 	defer s.Close()
 
-	r := e.RunPoint(e.Points[3])
+	r := e.RunPoint(e.PointAt(3))
 	if err := s.Append(r); err != nil {
 		t.Fatal(err)
 	}
@@ -362,10 +364,11 @@ func TestCrashResumeReproducesFig3Golden(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// First life: run 60% of the sweep, then "crash": close the store
-		// and tear the final record of the last segment.
-		cut := len(e.Points) * 3 / 5
-		if _, _, err := s.Sweep(e.Points[:cut], 0); err != nil {
+		// First life: run 60% of the sweep (a prefix index set), then
+		// "crash": close the store and tear the final record of the last
+		// segment.
+		cut := e.NumPoints() * 3 / 5
+		if _, _, err := s.Sweep(scenario.IndexSet{Limit: cut, Stride: 1}, 0); err != nil {
 			t.Fatal(err)
 		}
 		s.Close()
@@ -379,11 +382,11 @@ func TestCrashResumeReproducesFig3Golden(t *testing.T) {
 		if got := s.Progress().Completed; got != cut-1 {
 			t.Fatalf("shards=%d: %d completed after crash, want %d", shards, got, cut-1)
 		}
-		ran, skipped, err := s.Sweep(e.Points, 0)
+		ran, skipped, err := s.Sweep(e.All(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ran != len(e.Points)-cut+1 || skipped != cut-1 {
+		if ran != e.NumPoints()-cut+1 || skipped != cut-1 {
 			t.Fatalf("shards=%d: resume ran %d skipped %d", shards, ran, skipped)
 		}
 		tables, err := s.Aggregate()

@@ -18,9 +18,12 @@ type (
 	// Service is a concurrent scheduling service; create one with
 	// NewService and release it with its Close method.
 	Service = service.Service
-	// ServiceOptions sizes the worker pool, the request queue and the
-	// per-request timeout.
+	// ServiceOptions sizes the worker pool, the request queue, the
+	// per-request timeout and the campaign/job admission limits.
 	ServiceOptions = service.Options
+	// ServiceLimits tunes the campaign and job admission caps
+	// (ServiceOptions.Limits); zero fields take the service defaults.
+	ServiceLimits = service.Limits
 	// ServiceStats is a point-in-time snapshot of the service counters.
 	ServiceStats = service.Stats
 	// ScheduleServiceRequest is one offline batch-scheduling request.

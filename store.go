@@ -12,9 +12,12 @@ import (
 // the bit-exact campaign wire format. Every Append writes one whole line
 // with a single write call, so a crash tears at most the final line of a
 // segment; OpenCampaignStore truncates a torn tail away and recovers the
-// completed-point set, and a resumed sweep (Store.Sweep skips completed
-// points) aggregates bit-identically to an uninterrupted run. This is the
-// engine behind `ptgbench -campaign -store DIR [-resume]`.
+// completed-point bitmap, and a resumed sweep (Store.Sweep skips completed
+// points) aggregates bit-identically to an uninterrupted run. The handle
+// is memory-flat: it keeps one bit per point — results live on disk only,
+// and Results/Aggregate re-scan the JSONL segments, streaming each record
+// into the incremental aggregator. This is the engine behind
+// `ptgbench -campaign -store DIR [-resume]`.
 type (
 	// CampaignStore is an open result store; create with
 	// CreateCampaignStore, reopen with OpenCampaignStore, release with
