@@ -23,6 +23,14 @@ type BenchResult struct {
 	// before finalization (the resident-memory contrast of the streaming
 	// pipeline). Zero for benchmarks that do not report it.
 	LiveHeapBytes float64 `json:"live_heap_bytes,omitempty"`
+	// FleetRetries, FleetReassignments, FleetWorkerDeaths and
+	// FleetDuplicatePoints carry the coordinator's robustness counters
+	// (per coordinated run) from the FleetCoordinate3Workers benchmark's
+	// scripted worker-death scenario. Zero for every other benchmark.
+	FleetRetries         float64 `json:"fleet_retries,omitempty"`
+	FleetReassignments   float64 `json:"fleet_reassignments,omitempty"`
+	FleetWorkerDeaths    float64 `json:"fleet_worker_deaths,omitempty"`
+	FleetDuplicatePoints float64 `json:"fleet_duplicate_points,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_mapping.json: the frozen seed baseline
@@ -121,6 +129,11 @@ func bench(w io.Writer, jsonPath string) error {
 			AllocsPerOp:   res.AllocsPerOp(),
 			Iterations:    res.N,
 			LiveHeapBytes: res.Extra["live-heap-bytes"],
+
+			FleetRetries:         res.Extra["fleet-retries"],
+			FleetReassignments:   res.Extra["fleet-reassignments"],
+			FleetWorkerDeaths:    res.Extra["fleet-worker-deaths"],
+			FleetDuplicatePoints: res.Extra["fleet-duplicate-points"],
 		}
 		report.Current = append(report.Current, cur)
 		speedup, allocRatio := 0.0, 0.0

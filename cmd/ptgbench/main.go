@@ -40,6 +40,18 @@
 //	ptgbench -campaign examples/campaign.json -shard 1/2 -store run/ -resume
 //	ptgbench -campaign examples/campaign.json -merge run/          # final tables
 //
+// Fleet mode (-coordinate) distributes a campaign over remote ptgserve
+// workers with fault tolerance: shard leases are dispatched over the
+// /v1/jobs API, transient failures retried with capped backoff, dead or
+// stalled workers' leases reassigned to survivors, and the deduplicated
+// streaming merge prints tables bit-identical to a local run. The fleet
+// narrative and robustness counters go to stderr; -stats-addr serves them
+// as JSON while the campaign runs:
+//
+//	ptgbench -campaign examples/campaign.json \
+//	         -coordinate host1:8080,host2:8080,host3:8080 \
+//	         -fleet-shards 6 -stats-addr :9090
+//
 // The bench experiment runs the benchmark-regression suite (the same one
 // behind `go test -bench`, see internal/benchsuite) and compares it with
 // the frozen seed baseline; -json regenerates BENCH_mapping.json:
@@ -49,6 +61,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -56,6 +69,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -92,6 +107,11 @@ func run(argv []string, w io.Writer) error {
 		merge        = fs.String("merge", "", "campaign: comma-separated shard JSONL files or directories of *.jsonl segments to aggregate instead of running")
 		storeDir     = fs.String("store", "", "campaign: append results to a durable store at this directory (crash-safe; resumable)")
 		resume       = fs.Bool("resume", false, "campaign: open the existing -store and run only its pending points")
+		coordinate   = fs.String("coordinate", "", "campaign: comma-separated ptgserve worker addresses to distribute the sweep over (fault-tolerant fleet mode)")
+		fleetShards  = fs.Int("fleet-shards", 0, "coordinate: shard leases to split the campaign into (default: one per worker)")
+		pollEvery    = fs.Duration("poll", 0, "coordinate: worker progress poll interval (default: 500ms)")
+		stallAfter   = fs.Duration("stall-timeout", 0, "coordinate: reassign a lease whose progress is frozen this long (default: 2m)")
+		statsAddr    = fs.String("stats-addr", "", "coordinate: also serve the coordinator's /v1/stats on this address")
 		reps         = fs.Int("reps", 25, "random PTG combinations per point (paper: 25)")
 		seed         = fs.Int64("seed", 42, "base random seed")
 		workers      = fs.Int("workers", 0, "concurrent runs (default: GOMAXPROCS)")
@@ -106,6 +126,18 @@ func run(argv []string, w io.Writer) error {
 		return errUsage
 	}
 
+	if *coordinate != "" {
+		if *campaignPath == "" {
+			return fmt.Errorf("-coordinate requires -campaign")
+		}
+		if *shard != "" || *jsonl != "" || *merge != "" || *storeDir != "" || *resume {
+			return fmt.Errorf("-coordinate is exclusive with -shard, -jsonl, -merge, -store and -resume (the fleet merge is streaming and in-memory)")
+		}
+		return coordinateMode(w, *campaignPath, *coordinate, *fleetShards, *workers, *pollEvery, *stallAfter, *statsAddr)
+	}
+	if *fleetShards != 0 || *pollEvery != 0 || *stallAfter != 0 || *statsAddr != "" {
+		return fmt.Errorf("-fleet-shards, -poll, -stall-timeout and -stats-addr require -coordinate")
+	}
 	if *campaignPath != "" {
 		return campaignMode(w, *campaignPath, *shard, *jsonl, *merge, *storeDir, *resume, *workers)
 	}
@@ -302,6 +334,66 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 		fmt.Fprintf(w, "wrote %d of %d points to %s\n", agg.Added(), e.NumPoints(), jsonlPath)
 	}
 	tables, err := agg.Tables()
+	if err != nil {
+		return err
+	}
+	return renderCampaign(w, specPath, e, tables)
+}
+
+// coordinateMode distributes the campaign over a fleet of remote ptgserve
+// workers: the spec is split into shard leases, each lease dispatched as
+// an asynchronous /v1/jobs job, progress polled, dead or stalled workers'
+// leases reassigned, and results streamed back through the incremental
+// aggregator — deduplicated, so re-executed shards never double-count.
+// stdout carries exactly the tables an unsharded local run prints
+// (bit-identically); the fleet narrative (leases, deaths, reassignments)
+// and the final robustness counters go to stderr.
+func coordinateMode(w io.Writer, specPath, workerList string, shards, jobWorkers int, poll, stall time.Duration, statsAddr string) error {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	var workers []string
+	for _, addr := range strings.Split(workerList, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			workers = append(workers, addr)
+		}
+	}
+	c, err := ptgsched.NewFleetCoordinator(data, workers, ptgsched.FleetOptions{
+		Shards:       shards,
+		JobWorkers:   jobWorkers,
+		PollInterval: poll,
+		StallTimeout: stall,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ptgbench: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	e := c.Expansion()
+	fmt.Fprintf(os.Stderr, "ptgbench: coordinating %d points over %d workers\n",
+		e.NumPoints(), len(workers))
+	if statsAddr != "" {
+		ln, err := net.Listen("tcp", statsAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "ptgbench: fleet stats on http://%s/v1/stats\n", ln.Addr())
+		go http.Serve(ln, c.StatsHandler())
+	}
+	stop := startProgress(func() string {
+		p := c.Progress()
+		return fmt.Sprintf("fleet: %d/%d points, %d/%d shards merged",
+			p.MergedPoints, p.Points, p.MergedShards, p.Shards)
+	})
+	tables, err := c.Run(context.Background())
+	stop()
+	cs := c.Counters()
+	fmt.Fprintf(os.Stderr,
+		"ptgbench: fleet done: %d dispatches, %d retries, %d reassignments, %d worker deaths, %d duplicate points skipped\n",
+		cs.Dispatches, cs.Retries, cs.Reassignments, cs.WorkerDeaths, cs.DuplicatePoints)
 	if err != nil {
 		return err
 	}

@@ -9,11 +9,13 @@ package main
 import (
 	"bytes"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"ptgsched"
 	"ptgsched/internal/clitest"
 )
 
@@ -224,5 +226,65 @@ func TestRunRejectsUnknownExperimentAndBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-experiment", "table1", "-shard", "0/4"}, &buf); err == nil {
 		t.Error("-shard without -campaign accepted")
+	}
+}
+
+// fleetOf starts n in-process ptgserve workers (the real service behind
+// the real HTTP surface) and returns a -coordinate worker list.
+func fleetOf(t *testing.T, n int) string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		s := ptgsched.NewService(ptgsched.ServiceOptions{Workers: 2})
+		ts := httptest.NewServer(ptgsched.ServiceHandler(s))
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		urls[i] = ts.URL
+	}
+	return strings.Join(urls, ",")
+}
+
+// TestCoordinateMatchesUnshardedOutput is the fleet-mode contract on the
+// CLI surface: stdout of a coordinated 3-worker run is byte-identical to
+// the unsharded local run.
+func TestCoordinateMatchesUnshardedOutput(t *testing.T) {
+	unsharded := runCLI(t, "-campaign", "testdata/smoke-campaign.json")
+	coordinated := runCLI(t, "-campaign", "testdata/smoke-campaign.json",
+		"-coordinate", fleetOf(t, 3), "-poll", "10ms")
+	if !bytes.Equal(unsharded, coordinated) {
+		t.Errorf("coordinated output differs from unsharded run\n--- unsharded ---\n%s\n--- coordinated ---\n%s",
+			unsharded, coordinated)
+	}
+}
+
+// TestCoordinateServesFleetStats spot-checks the -stats-addr endpoint
+// shape by running a coordinated sweep with stats enabled (the endpoint
+// lives only for the run, so the JSON contract is covered by the coord
+// package; here the flag wiring must at least not break the run).
+func TestCoordinateServesFleetStats(t *testing.T) {
+	out := runCLI(t, "-campaign", "testdata/smoke-campaign.json",
+		"-coordinate", fleetOf(t, 2), "-poll", "10ms", "-fleet-shards", "4",
+		"-stats-addr", "127.0.0.1:0")
+	if !strings.Contains(string(out), "Campaign") {
+		t.Fatalf("coordinated run with -stats-addr printed no tables:\n%s", out)
+	}
+}
+
+func TestCoordinateFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	spec := "testdata/smoke-campaign.json"
+	if err := run([]string{"-coordinate", "h:1"}, &buf); err == nil {
+		t.Error("-coordinate without -campaign accepted")
+	}
+	if err := run([]string{"-campaign", spec, "-fleet-shards", "2"}, &buf); err == nil {
+		t.Error("-fleet-shards without -coordinate accepted")
+	}
+	if err := run([]string{"-campaign", spec, "-coordinate", "h:1", "-shard", "0/2"}, &buf); err == nil {
+		t.Error("-coordinate with -shard accepted")
+	}
+	if err := run([]string{"-campaign", spec, "-coordinate", "h:1", "-store", t.TempDir()}, &buf); err == nil {
+		t.Error("-coordinate with -store accepted")
+	}
+	if err := run([]string{"-campaign", spec, "-coordinate", " , "}, &buf); err == nil {
+		t.Error("empty -coordinate worker list accepted")
 	}
 }

@@ -13,14 +13,18 @@ package benchsuite
 import (
 	"context"
 	"math/rand"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"ptgsched/internal/alloc"
+	"ptgsched/internal/coord"
 	"ptgsched/internal/dag"
 	"ptgsched/internal/daggen"
 	"ptgsched/internal/experiment"
+	"ptgsched/internal/faultinject"
 	"ptgsched/internal/mapping"
 	"ptgsched/internal/platform"
 	"ptgsched/internal/scenario"
@@ -53,6 +57,7 @@ func Suite() []Case {
 		{"CampaignExpand1M", CampaignExpand1M},
 		{"CampaignAggregate40kStreaming", func(b *testing.B) { CampaignAggregate40k(b, true) }},
 		{"CampaignAggregate40kMaterialized", func(b *testing.B) { CampaignAggregate40k(b, false) }},
+		{"FleetCoordinate3Workers", FleetCoordinate},
 	}
 }
 
@@ -233,6 +238,85 @@ func CampaignAggregate40k(b *testing.B, streaming bool) {
 		runtime.KeepAlive(holder)
 	}
 	b.ReportMetric(live, "live-heap-bytes")
+}
+
+// FleetCoordinate measures the fault-tolerant coordinator end to end:
+// each iteration boots three in-process workers, coordinates an 8-point
+// campaign over them while worker 0's host dies after its opening
+// requests (a scripted faultinject schedule, deterministic every run),
+// and absorbs the reassigned shard. Beyond ns/op it reports the
+// robustness counters per coordinated run as custom metrics —
+// "fleet-retries", "fleet-reassignments", "fleet-worker-deaths",
+// "fleet-duplicate-points" — so BENCH_mapping.json records the
+// failure-handling cost alongside the throughput numbers.
+func FleetCoordinate(b *testing.B) {
+	b.Helper()
+	const spec = `{"name":"fleetbench","seed":9,"reps":2,"nptgs":[2,3],` +
+		`"platforms":["lille","rennes"],"families":[{"family":"strassen"}]}`
+	fast := coord.ClientOptions{Retry: coord.RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}}
+	var retries, reassigns, deaths, dups float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		urls := make([]string, 3)
+		teardown := make([]func(), 0, 2*len(urls))
+		for w := range urls {
+			svc := service.New(service.Options{Workers: 2})
+			ts := httptest.NewServer(service.Handler(svc))
+			teardown = append(teardown, ts.Close, func() { svc.Close() })
+			urls[w] = ts.URL
+		}
+		// Worker 0 survives exactly its job submission, then its host drops
+		// off the network for good: the shard is accepted but never polled
+		// home, forcing a death verdict and a reassignment every iteration.
+		plan := faultinject.NewScript(faultinject.Action{}).
+			Then(faultinject.Action{Kind: faultinject.Drop})
+		victim := urls[0]
+		b.StartTimer()
+
+		c, err := coord.New([]byte(spec), urls, coord.Options{
+			PollInterval: 2 * time.Millisecond,
+			Client:       fast,
+			TransportFor: func(addr string) coord.ClientOptions {
+				co := fast
+				if addr == victim {
+					co.Transport = &faultinject.Transport{Plan: plan}
+				}
+				return co
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tables, err := c.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("coordinated run produced no tables")
+		}
+		cs := c.Counters()
+		if cs.WorkerDeaths == 0 {
+			b.Fatal("scripted worker death never happened")
+		}
+		retries += float64(cs.Retries)
+		reassigns += float64(cs.Reassignments)
+		deaths += float64(cs.WorkerDeaths)
+		dups += float64(cs.DuplicatePoints)
+
+		b.StopTimer()
+		for _, f := range teardown {
+			f()
+		}
+		b.StartTimer()
+	}
+	n := float64(b.N)
+	b.ReportMetric(retries/n, "fleet-retries")
+	b.ReportMetric(reassigns/n, "fleet-reassignments")
+	b.ReportMetric(deaths/n, "fleet-worker-deaths")
+	b.ReportMetric(dups/n, "fleet-duplicate-points")
 }
 
 // synthResult fabricates a deterministic, realistically shaped result for

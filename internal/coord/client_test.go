@@ -1,0 +1,131 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ptgsched/internal/faultinject"
+)
+
+// recordedSleep replaces the backoff sleep and logs requested delays.
+func recordedSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func faultyClient(t *testing.T, plan faultinject.Plan, opts ClientOptions) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "{}")
+	}))
+	t.Cleanup(ts.Close)
+	opts.Transport = &faultinject.Transport{Base: ts.Client().Transport, Plan: plan}
+	c, err := NewClient(ts.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+// TestClientRetrySequence drives the retry loop through a drop, then a
+// throttled 503 carrying Retry-After, to success — checking both that the
+// call survives and that the second backoff is raised to the server's ask.
+func TestClientRetrySequence(t *testing.T) {
+	var delays []time.Duration
+	c, _ := faultyClient(t, faultinject.NewScript(
+		faultinject.Action{Kind: faultinject.Drop},
+		faultinject.Action{Kind: faultinject.Status, Code: http.StatusServiceUnavailable, RetryAfter: 3},
+		faultinject.Action{Kind: faultinject.Pass},
+	), ClientOptions{Sleep: recordedSleep(&delays)})
+
+	var out struct{}
+	if err := c.do(context.Background(), http.MethodGet, "/", nil, &out); err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times (%v), want 2", len(delays), delays)
+	}
+	// First backoff: jittered 200ms base ∈ [100ms, 300ms).
+	if delays[0] < 100*time.Millisecond || delays[0] >= 300*time.Millisecond {
+		t.Fatalf("first backoff %v outside jitter window", delays[0])
+	}
+	// Second: the exponential term (≤ 600ms) is raised to Retry-After 3s.
+	if delays[1] != 3*time.Second {
+		t.Fatalf("throttled backoff %v, want the Retry-After 3s", delays[1])
+	}
+}
+
+// TestClientRetryAfterCapped refuses to honor a Retry-After beyond
+// MaxDelay — a confused server must not stall the coordinator.
+func TestClientRetryAfterCapped(t *testing.T) {
+	var delays []time.Duration
+	c, _ := faultyClient(t, faultinject.NewScript(
+		faultinject.Action{Kind: faultinject.Status, Code: http.StatusTooManyRequests, RetryAfter: 9999},
+	), ClientOptions{Sleep: recordedSleep(&delays)})
+	if err := c.do(context.Background(), http.MethodGet, "/", nil, nil); err != nil {
+		t.Fatalf("call after throttle failed: %v", err)
+	}
+	if len(delays) != 1 || delays[0] != 5*time.Second {
+		t.Fatalf("delays %v, want one sleep capped at MaxDelay 5s", delays)
+	}
+}
+
+// TestClientAttemptsExhausted stops after MaxAttempts against a worker
+// that drops everything, surfacing the underlying fault.
+func TestClientAttemptsExhausted(t *testing.T) {
+	var delays []time.Duration
+	plan := faultinject.NewScript().Then(faultinject.Action{Kind: faultinject.Drop})
+	c, _ := faultyClient(t, plan, ClientOptions{Sleep: recordedSleep(&delays)})
+	err := c.do(context.Background(), http.MethodGet, "/", nil, nil)
+	if err == nil {
+		t.Fatal("call against a dead worker succeeded")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error %v does not carry the injected fault", err)
+	}
+	if !strings.Contains(err.Error(), "after 4 attempts") {
+		t.Fatalf("error %q does not report the attempt budget", err)
+	}
+	if len(delays) != 3 {
+		t.Fatalf("slept %d times, want 3 (between 4 attempts)", len(delays))
+	}
+}
+
+// TestClientPermanentNoRetry returns a 400 immediately: retrying a
+// validation failure would only repeat it.
+func TestClientPermanentNoRetry(t *testing.T) {
+	var delays []time.Duration
+	c, _ := faultyClient(t, faultinject.NewScript(
+		faultinject.Action{Kind: faultinject.Status, Code: http.StatusBadRequest},
+	), ClientOptions{Sleep: recordedSleep(&delays)})
+	err := c.do(context.Background(), http.MethodGet, "/", nil, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err %v, want StatusError 400", err)
+	}
+	if len(delays) != 0 {
+		t.Fatalf("client retried a permanent failure (%d sleeps)", len(delays))
+	}
+}
+
+// TestClientNormalizesAddress accepts bare host:port worker addresses.
+func TestClientNormalizesAddress(t *testing.T) {
+	c, err := NewClient("worker-3:8080", ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Base() != "http://worker-3:8080" {
+		t.Fatalf("base %q", c.Base())
+	}
+	if _, err := NewClient("://", ClientOptions{}); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}

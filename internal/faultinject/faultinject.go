@@ -1,0 +1,325 @@
+// Package faultinject makes network failure deterministic: an injectable
+// http.RoundTripper and a net.Listener wrapper that drop, delay, answer
+// with synthetic statuses, or sever connections — by a scripted sequence
+// or a seeded pseudo-random plan. The fleet coordinator's failure paths
+// (retry, backoff, dead-worker reassignment, partition handling) are
+// tested against these instead of flaky timing tricks: the same schedule
+// produces the same failures every run.
+//
+// Concurrency: plans and the transport are safe for concurrent use; each
+// RoundTrip consumes exactly one action atomically.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable failure modes.
+type Kind int
+
+const (
+	// Pass forwards the request untouched.
+	Pass Kind = iota
+	// Drop fails the round trip with a synthetic connection error, as if
+	// the worker's host vanished.
+	Drop
+	// Delay sleeps for Action.Delay (respecting the request context)
+	// before forwarding — a slow network, not a broken one.
+	Delay
+	// Status short-circuits with a synthetic HTTP response of Action.Code
+	// (optionally carrying a Retry-After header), never reaching the
+	// server — an overloaded proxy or a throttling worker.
+	Status
+	// Sever forwards the request but cuts the response body after
+	// Action.After bytes — a connection torn mid-stream.
+	Sever
+)
+
+// ErrInjected is the base error of every synthetic failure, so tests can
+// tell injected faults from real ones with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Action is one scheduled behavior of the transport.
+type Action struct {
+	Kind Kind
+	// Delay applies to Kind Delay.
+	Delay time.Duration
+	// Code and RetryAfter (seconds; 0 omits the header) apply to Kind
+	// Status.
+	Code       int
+	RetryAfter int
+	// After applies to Kind Sever: response-body bytes relayed before the
+	// cut. 0 severs immediately.
+	After int64
+}
+
+// A Plan hands the transport one action per round trip.
+type Plan interface {
+	Next(req *http.Request) Action
+}
+
+// Script is a Plan that replays a fixed action sequence, then settles on
+// Then (zero value: Pass) forever. The zero Script passes everything.
+type Script struct {
+	mu      sync.Mutex
+	actions []Action
+	then    Action
+	used    int
+}
+
+// NewScript returns a Plan replaying actions in order, passing afterwards.
+func NewScript(actions ...Action) *Script {
+	return &Script{actions: actions}
+}
+
+// Then sets the action every round trip after the script gets, and
+// returns the script for chaining. NewScript(...).Then(Action{Kind: Drop})
+// scripts a worker that dies for good after its opening moves.
+func (s *Script) Then(a Action) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.then = a
+	return s
+}
+
+// Next consumes the next scheduled action.
+func (s *Script) Next(*http.Request) Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used < len(s.actions) {
+		s.used++
+		return s.actions[s.used-1]
+	}
+	return s.then
+}
+
+// Used reports how many scripted (non-Then) actions were consumed.
+func (s *Script) Used() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Seeded is a pseudo-random Plan: each round trip independently drops,
+// delays or 503s with the given probabilities, deterministically from the
+// seed. Probabilities are evaluated in order drop, delay, status; the
+// remainder passes.
+type Seeded struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// DropP, DelayP and StatusP are per-request probabilities in [0,1].
+	DropP, DelayP, StatusP float64
+	// MaxDelay bounds injected delays (default 10ms).
+	MaxDelay time.Duration
+	// Code is the injected status (default 503).
+	Code int
+}
+
+// NewSeeded returns a deterministic random plan over the seed.
+func NewSeeded(seed int64, dropP, delayP, statusP float64) *Seeded {
+	return &Seeded{
+		rng:   rand.New(rand.NewSource(seed)),
+		DropP: dropP, DelayP: delayP, StatusP: statusP,
+	}
+}
+
+// Next draws one action.
+func (s *Seeded) Next(*http.Request) Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	roll := s.rng.Float64()
+	switch {
+	case roll < s.DropP:
+		return Action{Kind: Drop}
+	case roll < s.DropP+s.DelayP:
+		max := s.MaxDelay
+		if max <= 0 {
+			max = 10 * time.Millisecond
+		}
+		return Action{Kind: Delay, Delay: time.Duration(s.rng.Int63n(int64(max)) + 1)}
+	case roll < s.DropP+s.DelayP+s.StatusP:
+		code := s.Code
+		if code == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		return Action{Kind: Status, Code: code}
+	}
+	return Action{Kind: Pass}
+}
+
+// Transport is the injectable RoundTripper: every request first asks the
+// plan what to suffer. A nil Plan or Base falls back to Pass and
+// http.DefaultTransport.
+type Transport struct {
+	Base http.RoundTripper
+	Plan Plan
+}
+
+// RoundTrip applies the plan's next action to the request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	a := Action{Kind: Pass}
+	if t.Plan != nil {
+		a = t.Plan.Next(req)
+	}
+	switch a.Kind {
+	case Drop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: connection to %s dropped", ErrInjected, req.URL.Host)
+	case Delay:
+		select {
+		case <-time.After(a.Delay):
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+	case Status:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		h := http.Header{"Content-Type": []string{"application/json; charset=utf-8"}}
+		if a.RetryAfter > 0 {
+			h.Set("Retry-After", strconv.Itoa(a.RetryAfter))
+		}
+		body := fmt.Sprintf("{\n  \"error\": \"injected status %d\",\n  \"code\": \"injected\"\n}\n", a.Code)
+		return &http.Response{
+			StatusCode: a.Code,
+			Status:     fmt.Sprintf("%d %s", a.Code, http.StatusText(a.Code)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        h,
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case Sever:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &severedBody{rc: resp.Body, remain: a.After}
+		return resp, nil
+	}
+	return base.RoundTrip(req)
+}
+
+// severedBody relays up to remain bytes, then fails the read — the
+// mid-stream cut a dying worker produces, distinct from a clean EOF.
+type severedBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *severedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("%w: connection severed mid-body", ErrInjected)
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	if err == io.EOF {
+		return n, err // the real body ended before the cut
+	}
+	if b.remain <= 0 && err == nil {
+		return n, fmt.Errorf("%w: connection severed mid-body", ErrInjected)
+	}
+	return n, err
+}
+
+func (b *severedBody) Close() error { return b.rc.Close() }
+
+// Listener wraps a net.Listener so a test can partition a live server:
+// Partition closes every open connection and makes the listener swallow
+// (accept-and-close) new ones — the server process stays up, but nothing
+// reaches it, exactly a network split. Heal restores it.
+type Listener struct {
+	net.Listener
+
+	mu          sync.Mutex
+	conns       map[net.Conn]struct{}
+	partitioned bool
+}
+
+// Wrap returns a partitionable view of ln.
+func Wrap(ln net.Listener) *Listener {
+	return &Listener{Listener: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Accept tracks accepted connections; while partitioned it closes them
+// immediately and keeps listening, so clients see resets, not a dead port
+// owner (the listener's backlog still answers the TCP handshake — the
+// failure mode of a machine whose process hangs, as opposed to one whose
+// port is closed).
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		if l.partitioned {
+			l.mu.Unlock()
+			c.Close()
+			continue
+		}
+		tc := &trackedConn{Conn: c, l: l}
+		l.conns[tc] = struct{}{}
+		l.mu.Unlock()
+		return tc, nil
+	}
+}
+
+// Partition severs every open connection and refuses new ones until Heal.
+func (l *Listener) Partition() {
+	l.mu.Lock()
+	l.partitioned = true
+	open := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		open = append(open, c)
+	}
+	l.mu.Unlock()
+	for _, c := range open {
+		c.Close()
+	}
+}
+
+// Heal lets new connections through again.
+func (l *Listener) Heal() {
+	l.mu.Lock()
+	l.partitioned = false
+	l.mu.Unlock()
+}
+
+// trackedConn removes itself from the listener's registry on Close.
+type trackedConn struct {
+	net.Conn
+	l    *Listener
+	once sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() {
+		c.l.mu.Lock()
+		delete(c.l.conns, c)
+		c.l.mu.Unlock()
+	})
+	return c.Conn.Close()
+}

@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newClient(plan Plan) (*http.Client, *httptest.Server) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 64))
+	}))
+	return &http.Client{Transport: &Transport{Base: ts.Client().Transport, Plan: plan}}, ts
+}
+
+func TestScriptSequence(t *testing.T) {
+	plan := NewScript(
+		Action{Kind: Drop},
+		Action{Kind: Status, Code: http.StatusServiceUnavailable, RetryAfter: 7},
+		Action{Kind: Pass},
+	)
+	c, ts := newClient(plan)
+	defer ts.Close()
+
+	if _, err := c.Get(ts.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first call: err %v, want injected drop", err)
+	}
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("second call: status %d retry-after %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp, err = c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 64 {
+		t.Fatalf("third call: status %d, %d body bytes", resp.StatusCode, len(body))
+	}
+	if plan.Used() != 3 {
+		t.Fatalf("used %d actions, want 3", plan.Used())
+	}
+	// Exhausted script passes by default.
+	if resp, err = c.Get(ts.URL); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-script call: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestScriptThen(t *testing.T) {
+	plan := NewScript(Action{Kind: Pass}).Then(Action{Kind: Drop})
+	c, ts := newClient(plan)
+	defer ts.Close()
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(ts.URL); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d after script: err %v, want permanent drop", i, err)
+		}
+	}
+}
+
+func TestSever(t *testing.T) {
+	plan := NewScript(Action{Kind: Sever, After: 10})
+	c, ts := newClient(plan)
+	defer ts.Close()
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err %v, want injected sever", err)
+	}
+	if len(body) > 10 {
+		t.Fatalf("read %d bytes past the cut", len(body))
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	plan := NewScript(Action{Kind: Delay, Delay: 10 * time.Second})
+	c, ts := newClient(plan)
+	defer ts.Close()
+	c.Timeout = 30 * time.Millisecond
+	start := time.Now()
+	if _, err := c.Get(ts.URL); err == nil {
+		t.Fatal("delayed call succeeded under a shorter client timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("injected delay ignored the request context")
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	drawn := func() []Kind {
+		p := NewSeeded(42, 0.3, 0.2, 0.2)
+		kinds := make([]Kind, 32)
+		for i := range kinds {
+			kinds[i] = p.Next(nil).Kind
+		}
+		return kinds
+	}
+	a, b := drawn(), drawn()
+	var mix map[Kind]int = map[Kind]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		mix[a[i]]++
+	}
+	if len(mix) < 2 {
+		t.Fatalf("seeded plan drew only %v — not a mix of faults", mix)
+	}
+}
+
+func TestListenerPartition(t *testing.T) {
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	ln := Wrap(ts.Listener)
+	ts.Listener = ln
+	ts.Start()
+	defer ts.Close()
+
+	c := &http.Client{Timeout: 5 * time.Second}
+	get := func() error {
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		return resp.Body.Close()
+	}
+	if err := get(); err != nil {
+		t.Fatalf("pre-partition: %v", err)
+	}
+	ln.Partition()
+	if err := get(); err == nil {
+		t.Fatal("request crossed a partitioned listener")
+	}
+	ln.Heal()
+	if err := get(); err != nil {
+		t.Fatalf("post-heal: %v", err)
+	}
+}

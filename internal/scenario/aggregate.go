@@ -44,6 +44,13 @@ func (e *Expansion) NewAggregator() *Aggregator {
 // Added returns the number of results absorbed so far.
 func (a *Aggregator) Added() int { return a.added }
 
+// Seen reports whether point i's result has already been absorbed. It is
+// the membership view of the duplicate check Add enforces, so a caller
+// merging streams that may overlap (a coordinator re-fetching a
+// reassigned shard, a resumed merge) can skip duplicates instead of
+// treating Add's rejection as an error.
+func (a *Aggregator) Seen(i int) bool { return a.seen.Get(i) }
+
 // Add absorbs one point result, validating it against the expansion:
 // out-of-range indices, duplicates, cell mismatches (a stale shard) and
 // wrong strategy counts are rejected.

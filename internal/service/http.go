@@ -25,11 +25,13 @@ import (
 //	                                filters: family, strategy, from, to
 //	DELETE /v1/jobs/{id}          — cancel via context and forget
 //	GET  /v1/stats     — Stats snapshot as JSON
+//	GET  /v1/healthz   — Health snapshot as JSON (status, name, load)
 //	GET  /metrics      — the same counters in Prometheus text format
-//	GET  /healthz      — liveness probe
+//	GET  /healthz      — plain-text liveness probe
 //
 // Error mapping: validation failures → 400, a full queue (or job registry)
-// → 429 with a Retry-After hint, a request timeout → 504, a closed service
+// → 429 with a Retry-After hint derived from the live queue depth, a
+// request timeout → 504, a closed service
 // → 503, an unknown job id → 404, and a pipeline failure → 500. Every
 // error — including the mux's own 404/405 responses — carries the same
 // JSON envelope {"error": ..., "code": ...} with a stable machine-readable
@@ -42,28 +44,28 @@ func Handler(s *Service) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		respond(w, func(ctx context.Context) (any, error) { return s.Schedule(ctx, req) }, r)
+		respond(w, s, func(ctx context.Context) (any, error) { return s.Schedule(ctx, req) }, r)
 	})
 	mux.HandleFunc("POST /v1/online", func(w http.ResponseWriter, r *http.Request) {
 		var req OnlineRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		respond(w, func(ctx context.Context) (any, error) { return s.Online(ctx, req) }, r)
+		respond(w, s, func(ctx context.Context) (any, error) { return s.Online(ctx, req) }, r)
 	})
 	mux.HandleFunc("POST /v1/workload", func(w http.ResponseWriter, r *http.Request) {
 		var req WorkloadRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		respond(w, func(ctx context.Context) (any, error) { return s.Workload(ctx, req) }, r)
+		respond(w, s, func(ctx context.Context) (any, error) { return s.Workload(ctx, req) }, r)
 	})
 	mux.HandleFunc("POST /v1/campaign", func(w http.ResponseWriter, r *http.Request) {
 		var req CampaignRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		respond(w, func(ctx context.Context) (any, error) { return s.Campaign(ctx, req) }, r)
+		respond(w, s, func(ctx context.Context) (any, error) { return s.Campaign(ctx, req) }, r)
 	})
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req JobRequest
@@ -72,7 +74,7 @@ func Handler(s *Service) http.Handler {
 		}
 		st, err := s.SubmitJob(req)
 		if err != nil {
-			writeJobError(w, err)
+			writeJobError(w, s, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, st)
@@ -85,7 +87,7 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.JobStatusByID(r.PathValue("id"))
 		if err != nil {
-			writeJobError(w, err)
+			writeJobError(w, s, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -100,7 +102,7 @@ func Handler(s *Service) http.Handler {
 		// Look the job up before committing to a streaming response, so
 		// an unknown id still gets a clean 404 envelope.
 		if _, err := s.JobStatusByID(id); err != nil {
-			writeJobError(w, err)
+			writeJobError(w, s, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
@@ -109,7 +111,7 @@ func Handler(s *Service) http.Handler {
 			if cw.n == 0 {
 				// Validation failed before any line went out; the JSON
 				// envelope replaces the (unsent) stream.
-				writeJobError(w, err)
+				writeJobError(w, s, err)
 			}
 			// A mid-stream write failure means the client went away; the
 			// response is already committed, nothing useful to add.
@@ -118,7 +120,7 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.CancelJob(r.PathValue("id"))
 		if err != nil {
-			writeJobError(w, err)
+			writeJobError(w, s, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -128,6 +130,9 @@ func Handler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeMetrics(w, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -152,19 +157,23 @@ const (
 
 // writeJobError maps job-subsystem errors onto the JSON envelope: unknown
 // id → 404, full registry or queue → 429, validation → 400, closed → 503.
-func writeJobError(w http.ResponseWriter, err error) {
+// Throttled responses carry a Retry-After hint derived from the live queue
+// depth (Service.RetryAfterSeconds), so a backing-off client waits about
+// as long as the backlog will actually take to drain.
+func writeJobError(w http.ResponseWriter, s *Service, err error) {
 	status, code := http.StatusInternalServerError, CodeInternal
 	switch {
 	case errors.Is(err, ErrJobNotFound):
 		status, code = http.StatusNotFound, CodeNotFound
 	case errors.Is(err, ErrTooManyJobs):
 		status, code = http.StatusTooManyRequests, CodeTooManyJobs
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 	case errors.Is(err, ErrQueueFull):
 		status, code = http.StatusTooManyRequests, CodeQueueFull
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 	case errors.Is(err, ErrClosed):
 		status, code = http.StatusServiceUnavailable, CodeClosed
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 	case errors.As(err, new(*ValidationError)):
 		status, code = http.StatusBadRequest, CodeValidation
 	}
@@ -223,16 +232,19 @@ func decode(w http.ResponseWriter, r *http.Request, req any) bool {
 }
 
 // respond runs the request against the service and writes the outcome.
-func respond(w http.ResponseWriter, run func(context.Context) (any, error), r *http.Request) {
+// Throttled responses (429/503) carry a Retry-After hint derived from the
+// live queue depth — see Service.RetryAfterSeconds.
+func respond(w http.ResponseWriter, s *Service, run func(context.Context) (any, error), r *http.Request) {
 	resp, err := run(r.Context())
 	if err != nil {
 		status, code := http.StatusInternalServerError, CodeInternal
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			status, code = http.StatusTooManyRequests, CodeQueueFull
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 		case errors.Is(err, ErrClosed):
 			status, code = http.StatusServiceUnavailable, CodeClosed
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 		case errors.Is(err, context.DeadlineExceeded):
 			status, code = http.StatusGatewayTimeout, CodeTimeout
 		case errors.Is(err, context.Canceled):

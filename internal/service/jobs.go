@@ -66,6 +66,11 @@ const (
 type JobRequest struct {
 	// Spec is the inline campaign spec (the scenario JSON format).
 	Spec json.RawMessage `json:"spec"`
+	// Shard, when set to "i/n", executes only that shard's points (the
+	// scenario stride partition: point p belongs to shard p mod n) — the
+	// lease a fleet coordinator dispatches to one worker. Empty runs the
+	// whole expansion.
+	Shard string `json:"shard,omitempty"`
 	// Shards partitions progress reporting: point i belongs to shard
 	// i mod Shards, exactly the scenario/store partition. Default 1.
 	Shards int `json:"shards,omitempty"`
@@ -90,8 +95,12 @@ type JobStatus struct {
 	State string `json:"state"`
 	// SpecDigest identifies the campaign content (scenario.SpecDigest).
 	SpecDigest string `json:"spec_digest"`
-	// Points is the expansion cardinality; Completed the number of points
-	// measured so far.
+	// Shard echoes the request's shard selector ("i/n"), empty for a
+	// whole-expansion job.
+	Shard string `json:"shard,omitempty"`
+	// Points is the number of points this job executes — the shard's
+	// cardinality for a sharded job, the whole expansion otherwise;
+	// Completed the number measured so far.
 	Points    int `json:"points"`
 	Completed int `json:"completed"`
 	// Shards breaks Completed down by the modulo partition.
@@ -104,12 +113,14 @@ type JobStatus struct {
 
 // jobHandle is the server-side state of one job.
 type jobHandle struct {
-	id     string
-	name   string
-	digest string
-	e      *scenario.Expansion
-	shards int
-	worker int
+	id       string
+	name     string
+	digest   string
+	e        *scenario.Expansion
+	set      scenario.IndexSet // the points this job executes
+	shardSel string            // the request's shard selector, "" for all
+	shards   int
+	worker   int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -215,7 +226,8 @@ func (h *jobHandle) status() *JobStatus {
 		Name:       h.name,
 		State:      state,
 		SpecDigest: h.digest,
-		Points:     h.e.NumPoints(),
+		Shard:      h.shardSel,
+		Points:     h.set.Len(),
 		Completed:  int(h.completed.Load()),
 	}
 	if err != nil {
@@ -285,10 +297,10 @@ func (reg *jobRegistry) add(h *jobHandle, backlogCap int) (string, error) {
 	live := 0
 	for _, j := range reg.byID {
 		if !j.terminal() {
-			live += j.e.NumPoints()
+			live += j.set.Len()
 		}
 	}
-	if live+h.e.NumPoints() > backlogCap {
+	if live+h.set.Len() > backlogCap {
 		return "", fmt.Errorf("%w: %d points already queued or running, backlog cap is %d",
 			ErrTooManyJobs, live, backlogCap)
 	}
@@ -364,34 +376,48 @@ func (reg *jobRegistry) releaseAll() {
 // resolveJob validates a job request against the campaign caps (minus the
 // synchronous per-request point cap: jobs are bounded by
 // Limits.JobPoints).
-func (r JobRequest) resolve(lim Limits) (*scenario.Expansion, int, int, error) {
+func (r JobRequest) resolve(lim Limits) (*scenario.Expansion, scenario.IndexSet, int, int, error) {
+	var none scenario.IndexSet
 	if len(r.Spec) == 0 {
-		return nil, 0, 0, fmt.Errorf("service: job request needs a spec")
+		return nil, none, 0, 0, fmt.Errorf("service: job request needs a spec")
 	}
 	// Reuse the campaign request's structural caps (strategies, platform
 	// sizes) without a shard selector.
 	spec, err := (CampaignRequest{Spec: r.Spec}).resolveSpecCaps()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, none, 0, 0, err
 	}
+	// The point cap applies to the whole expansion even for a sharded job:
+	// the result spool index is addressed by global point index, so the
+	// handle's per-point arrays are sized by the expansion.
 	if _, points, err := scenario.EstimatePoints(spec); err != nil {
-		return nil, 0, 0, err
+		return nil, none, 0, 0, err
 	} else if points > lim.JobPoints {
-		return nil, 0, 0, fmt.Errorf("service: job expands to %d points, cap is %d (use ptgbench -campaign -store for larger sweeps)",
+		return nil, none, 0, 0, fmt.Errorf("service: job expands to %d points, cap is %d (use ptgbench -campaign -store for larger sweeps)",
 			points, lim.JobPoints)
 	}
 	e, err := scenario.Expand(spec)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, none, 0, 0, err
+	}
+	set := e.All()
+	if r.Shard != "" {
+		idx, n, err := scenario.ParseShard(r.Shard)
+		if err != nil {
+			return nil, none, 0, 0, err
+		}
+		if set, err = e.Shard(idx, n); err != nil {
+			return nil, none, 0, 0, err
+		}
 	}
 	shards := r.Shards
 	if shards == 0 {
 		shards = 1
 	}
-	if shards < 1 || shards > MaxJobShards || shards > e.NumPoints() {
-		return nil, 0, 0, fmt.Errorf("service: %d shards for %d points (cap %d)", shards, e.NumPoints(), MaxJobShards)
+	if shards < 1 || shards > MaxJobShards || shards > set.Len() {
+		return nil, none, 0, 0, fmt.Errorf("service: %d shards for %d points (cap %d)", shards, set.Len(), MaxJobShards)
 	}
-	return e, shards, clampWorkers(r.Workers), nil
+	return e, set, shards, clampWorkers(r.Workers), nil
 }
 
 // SubmitJob validates, expands and enqueues an asynchronous campaign job
@@ -401,7 +427,7 @@ func (r JobRequest) resolve(lim Limits) (*scenario.Expansion, int, int, error) {
 // or a registry full of live jobs refuses the submission. Safe for
 // concurrent use.
 func (s *Service) SubmitJob(req JobRequest) (*JobStatus, error) {
-	e, shards, workers, err := req.resolve(s.opts.Limits)
+	e, set, shards, workers, err := req.resolve(s.opts.Limits)
 	if err != nil {
 		return nil, s.invalid(err)
 	}
@@ -414,6 +440,8 @@ func (s *Service) SubmitJob(req JobRequest) (*JobStatus, error) {
 		name:       e.Spec.Name,
 		digest:     scenario.SpecDigest(e.Spec),
 		e:          e,
+		set:        set,
+		shardSel:   req.Shard,
 		shards:     shards,
 		worker:     workers,
 		ctx:        ctx,
@@ -427,12 +455,11 @@ func (s *Service) SubmitJob(req JobRequest) (*JobStatus, error) {
 		lens:       make([]int32, e.NumPoints()),
 		ready:      make([]atomic.Bool, e.NumPoints()),
 	}
-	n := e.NumPoints()
-	for i := range h.shardSizes {
-		h.shardSizes[i] = n / shards
-		if i < n%shards {
-			h.shardSizes[i]++
-		}
+	// Progress shards partition the *executed* set by global index modulo
+	// Shards — for a whole-expansion job this is exactly the n/shards
+	// (+1 for the first n mod shards) split of the stride partition.
+	for j := 0; j < set.Len(); j++ {
+		h.shardSizes[set.At(j)%shards]++
 	}
 	if _, err := s.jobs.add(h, s.opts.Limits.JobBacklog); err != nil {
 		cancel()
@@ -497,7 +524,8 @@ func (s *Service) enqueueJob(h *jobHandle) error {
 // would kill the whole process instead of failing the job.
 func (s *Service) runJob(h *jobHandle) error {
 	h.setState(JobRunning, nil)
-	experiment.ForEach(h.e.NumPoints(), h.worker, func(i int) {
+	experiment.ForEach(h.set.Len(), h.worker, func(j int) {
+		i := h.set.At(j)
 		if h.ctx.Err() != nil {
 			return // canceled: drain the remaining indices fast
 		}
@@ -647,6 +675,9 @@ func (s *Service) JobResults(id string, q ResultQuery, w io.Writer) error {
 		to = h.e.NumPoints()
 	}
 	for i := q.From; i < to; i++ {
+		if !h.set.Contains(i) {
+			continue // not part of this job's shard
+		}
 		// The cell (and so family and strategy columns) is arithmetic on
 		// the index — filters apply without parsing the spooled line.
 		ci := h.e.CellOf(i)

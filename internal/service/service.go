@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -68,6 +69,10 @@ func (s *Service) invalid(err error) error {
 // one worker per GOMAXPROCS, a 64-request queue, a 60-second per-request
 // timeout, and the default campaign/job admission limits.
 type Options struct {
+	// Name identifies this service instance to fleet tooling (the
+	// ptgserve -name flag): it is echoed by GET /v1/healthz so a
+	// coordinator can tell its workers apart. Empty is fine.
+	Name string
 	// Workers is the number of scheduling workers; default GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds the number of requests waiting for a worker;
@@ -161,20 +166,58 @@ func (s *Service) Options() Options { return s.opts }
 // queued and in-flight requests to finish, and releases the workers. It is
 // idempotent.
 func (s *Service) Close() {
+	s.CloseGrace(0)
+}
+
+// CloseGrace is Close with a bounded drain: it stops accepting requests,
+// cancels running async jobs (their fate is counted as expired, like any
+// request whose client gave up), and waits at most grace for the workers
+// to finish — grace ≤ 0 waits without bound, exactly Close. It returns
+// the number of requests still executing when the deadline passed; 0
+// means the drain was clean and every spool was released. A nonzero
+// return means some worker is still burning CPU on an uncancellable
+// request — the caller is expected to be exiting the process, which is
+// the only way to reclaim it. Idempotent: later calls (including a
+// bounded call after an unbounded one already returned) re-wait on the
+// same drained state and return 0.
+func (s *Service) CloseGrace(grace time.Duration) int {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+		// A running campaign job would otherwise hold its worker until the
+		// sweep finishes; cancel them all so the drain completes promptly.
+		s.jobs.cancelAll()
 	}
-	s.closed = true
-	close(s.queue)
 	s.mu.Unlock()
-	// A running campaign job would otherwise hold its worker until the
-	// sweep finishes; cancel them all so Close drains promptly, then drop
-	// every job's result spool file — jobs are not queryable after Close.
-	s.jobs.cancelAll()
-	s.wg.Wait()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	if grace > 0 {
+		select {
+		case <-drained:
+		case <-time.After(grace):
+			select {
+			case <-drained: // drained at the wire: fall through, clean
+			default:
+				// Workers still running: report how many, leave their
+				// spools alone (a worker may hold the spool mutex
+				// mid-append; the process is exiting anyway).
+				if n := int(s.stats.inFlight.Load()); n > 0 {
+					return n
+				}
+				return 1
+			}
+		}
+	} else {
+		<-drained
+	}
+	// Jobs are not queryable after Close; drop every result spool.
 	s.jobs.releaseAll()
+	return 0
 }
 
 // worker executes queued jobs until the queue closes.
@@ -743,4 +786,66 @@ func (s *Service) Stats() Stats {
 		st.MeanQueueWaitMS = float64(s.stats.queueWaitNanos.Load()) / 1e6 / float64(ran)
 	}
 	return st
+}
+
+// Health is the payload of GET /v1/healthz: liveness plus the load facts
+// a fleet coordinator needs to pick among workers.
+type Health struct {
+	// Status is "ok" for a serving instance, "draining" after Close.
+	Status string `json:"status"`
+	// Name echoes Options.Name, the worker's fleet identity.
+	Name string `json:"name,omitempty"`
+	// Workers and QueueDepth echo the effective options; Queued and
+	// InFlight describe the instantaneous load.
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	Queued        int     `json:"queued"`
+	InFlight      int64   `json:"in_flight"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Health snapshots the service's health view. Safe for concurrent use.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	h := Health{
+		Status:        "ok",
+		Name:          s.opts.Name,
+		Workers:       s.opts.Workers,
+		QueueDepth:    s.opts.QueueDepth,
+		Queued:        len(s.queue),
+		InFlight:      s.stats.inFlight.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	if closed {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// RetryAfterSeconds derives the Retry-After hint a throttled (429/503)
+// response carries from the current backlog: the queued plus in-flight
+// requests, each costing the observed mean execution latency, spread over
+// the worker pool — clamped to [1, 60] seconds so clients neither
+// hot-spin on a deep queue nor stall on a hostile estimate. With no
+// latency history yet it falls back to the floor.
+func (s *Service) RetryAfterSeconds() int {
+	backlog := int64(len(s.queue)) + s.stats.inFlight.Load()
+	if backlog <= 0 {
+		return 1
+	}
+	ran := s.stats.completed.Load() + s.stats.failed.Load()
+	if ran == 0 {
+		return 1
+	}
+	meanNanos := float64(s.stats.busyNanos.Load()) / float64(ran)
+	secs := int(math.Ceil(float64(backlog) * meanNanos / float64(s.opts.Workers) / 1e9))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
