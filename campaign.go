@@ -1,6 +1,7 @@
 package ptgsched
 
 import (
+	"ptgsched/internal/events"
 	"ptgsched/internal/scenario"
 )
 
@@ -47,6 +48,35 @@ type (
 	// CampaignTable is one cell's aggregated summary; its Result renders
 	// through ExperimentResult's table and CSV writers.
 	CampaignTable = scenario.Table
+	// CampaignEventsSpec declares a spec's dynamic event timeline: scripted
+	// or stochastic platform failures, speed changes, PTG cancellations and
+	// resubmissions, and the rescheduling policies to sweep. Per-point
+	// timelines derive deterministically from the spec digest and point
+	// index, so sharded sweeps stay bit-identical. An empty block behaves
+	// exactly as omitting it.
+	CampaignEventsSpec = events.Spec
+	// CampaignFailureSpec is one failure source: a scripted down/up pair or
+	// an MTTF/MTTR renewal process.
+	CampaignFailureSpec = events.FailureSpec
+	// CampaignSpeedChangeSpec scales one cluster's speed at an instant.
+	CampaignSpeedChangeSpec = events.SpeedChangeSpec
+	// CampaignCancelSpec withdraws one application, optionally resubmitting
+	// it after a delay.
+	CampaignCancelSpec = events.CancelSpec
+	// EventTimeline is one point's concrete, time-ordered event sequence.
+	EventTimeline = events.Timeline
+	// Event is one concrete timeline entry; Kind discriminates it.
+	Event     = events.Event
+	EventKind = events.Kind
+)
+
+// Event kinds of a concrete timeline.
+const (
+	EventClusterDown = events.ClusterDown
+	EventClusterUp   = events.ClusterUp
+	EventSpeedChange = events.SpeedChange
+	EventCancel      = events.Cancel
+	EventResubmit    = events.Resubmit
 )
 
 // Campaign entry points.

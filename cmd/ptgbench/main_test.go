@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http/httptest"
 	"os"
@@ -286,5 +287,67 @@ func TestCoordinateFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-campaign", spec, "-coordinate", " , "}, &buf); err == nil {
 		t.Error("empty -coordinate worker list accepted")
+	}
+}
+
+// TestEmptyEventTimelineReproducesStaticCampaigns is the dynamic
+// machinery's hard guarantee at the CLI boundary: every checked-in paper
+// campaign, reduced for test speed, prints byte-identical tables and
+// JSONL whether its spec omits the events block or declares it
+// explicitly empty.
+func TestEmptyEventTimelineReproducesStaticCampaigns(t *testing.T) {
+	figs, err := filepath.Glob(filepath.Join("..", "..", "examples", "campaigns", "fig*.json"))
+	if err != nil || len(figs) == 0 {
+		t.Fatalf("no fig campaigns found: %v", err)
+	}
+	dir := t.TempDir()
+	for _, fig := range figs {
+		data, err := os.ReadFile(fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var spec map[string]any
+		if err := json.Unmarshal(data, &spec); err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		spec["reps"] = 2
+		spec["nptgs"] = []int{2}
+
+		base := filepath.Base(fig)
+		write := func(name string, m map[string]any) string {
+			out, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, name)
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return path
+		}
+		static := write("static-"+base, spec)
+		spec["events"] = map[string]any{}
+		empty := write("empty-"+base, spec)
+
+		// One shared JSONL path so the "wrote ... to <path>" stdout line
+		// is identical too; the file is read back between the runs.
+		jsonl := filepath.Join(dir, "out.jsonl")
+		sOut := runCLI(t, "-campaign", static, "-jsonl", jsonl)
+		sRecs, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eOut := runCLI(t, "-campaign", empty, "-jsonl", jsonl)
+		eRecs, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sOut, eOut) {
+			t.Errorf("%s: tables differ with an explicitly empty events block\n--- static ---\n%s\n--- empty ---\n%s",
+				base, sOut, eOut)
+		}
+		if !bytes.Equal(sRecs, eRecs) {
+			t.Errorf("%s: JSONL differs with an explicitly empty events block", base)
+		}
 	}
 }

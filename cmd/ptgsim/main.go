@@ -161,9 +161,25 @@ func campaignPoint(w io.Writer, specPath, pointKey string, list, gantt bool) err
 	fmt.Fprintf(w, "point    : %s (index %d, seed %d)\n", p.Name, p.Index, p.Seed)
 	fmt.Fprintf(w, "platform : %s\n", pf)
 	fmt.Fprintf(w, "cell     : %s\n", cell.Label)
+	if cell.Policy != "" {
+		fmt.Fprintf(w, "policy   : %s\n", cell.Policy)
+	}
 	fmt.Fprintf(w, "%-4s %-28s %10s\n", "app", "graph", "release")
 	for i, g := range graphs {
 		fmt.Fprintf(w, "%-4d %-28s %10.1f\n", i, g.Name, releases[i])
+	}
+	if tl := e.TimelineFor(p); len(tl) > 0 {
+		fmt.Fprintf(w, "\nevent timeline (%d events, derived from spec digest and point index):\n", len(tl))
+		for _, ev := range tl {
+			switch ev.Kind {
+			case ptgsched.EventClusterDown, ptgsched.EventClusterUp:
+				fmt.Fprintf(w, "  t=%-10.2f %-12s cluster %s\n", ev.At, ev.Kind, pf.Clusters[ev.Cluster].Name)
+			case ptgsched.EventSpeedChange:
+				fmt.Fprintf(w, "  t=%-10.2f %-12s cluster %s ×%g\n", ev.At, ev.Kind, pf.Clusters[ev.Cluster].Name, ev.Factor)
+			default:
+				fmt.Fprintf(w, "  t=%-10.2f %-12s app %d\n", ev.At, ev.Kind, ev.App)
+			}
+		}
 	}
 
 	res := e.RunPoint(p)
@@ -174,8 +190,9 @@ func campaignPoint(w io.Writer, specPath, pointKey string, list, gantt bool) err
 	}
 
 	// Offline points can additionally be re-scheduled for validation and
-	// inspection under the cell's first strategy.
-	if cell.Online == nil {
+	// inspection under the cell's first strategy (dynamic points run
+	// through the online engine, whose oracle the fuzz suite drives).
+	if cell.Online == nil && cell.Policy == "" {
 		sched := ptgsched.NewScheduler(pf)
 		sres := sched.Schedule(graphs, cell.Config.Strategies[0])
 		if err := ptgsched.ValidateSchedule(sres.Schedule); err != nil {

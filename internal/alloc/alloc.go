@@ -218,15 +218,24 @@ func TranslateBatch(procs []int, ref platform.Reference, clusters []*platform.Cl
 // as HCPA does on heterogeneous platforms: round(p·s_ref/s_c), clamped to
 // [1, c.Procs].
 func Translate(p int, ref platform.Reference, c *platform.Cluster) int {
+	return TranslateTo(p, ref, c.Procs, c.Speed)
+}
+
+// TranslateTo is Translate against an explicit capacity and speed instead
+// of a cluster's static ones. The online scheduler uses it under dynamic
+// scenarios, where a cluster's effective speed can differ from its
+// configured speed; with procs = c.Procs and speed = c.Speed it computes
+// exactly Translate's value.
+func TranslateTo(p int, ref platform.Reference, procs int, speed float64) int {
 	if p < 1 {
 		panic(fmt.Sprintf("alloc: translating allocation of %d processors", p))
 	}
-	q := int(math.Round(float64(p) * ref.Speed / c.Speed))
+	q := int(math.Round(float64(p) * ref.Speed / speed))
 	if q < 1 {
 		q = 1
 	}
-	if q > c.Procs {
-		q = c.Procs
+	if q > procs {
+		q = procs
 	}
 	return q
 }

@@ -31,6 +31,7 @@ import (
 	"ptgsched/internal/alloc"
 	"ptgsched/internal/cost"
 	"ptgsched/internal/dag"
+	"ptgsched/internal/events"
 	"ptgsched/internal/mapping"
 	"ptgsched/internal/platform"
 	"ptgsched/internal/strategy"
@@ -58,6 +59,14 @@ type Options struct {
 	// arrival until the next arrival, instead of redistributing a finished
 	// application's share immediately (§8 mentions both directions).
 	NoRebalanceOnCompletion bool
+	// Timeline injects dynamic-scenario events (cluster failures,
+	// recoveries, speed changes, cancellations, resubmissions) into the
+	// run; see dynamic.go for the semantics. An empty timeline reproduces
+	// the static run bit for bit.
+	Timeline events.Timeline
+	// Policy decides how much of an application an invalidating event
+	// discards; nil defaults to RestartPolicy. Ignored without a Timeline.
+	Policy ReschedulePolicy
 }
 
 // AppResult reports one application's outcome.
@@ -83,6 +92,19 @@ type Result struct {
 	Placements []*mapping.Placement
 	// Rebalances counts how many times the constraints were recomputed.
 	Rebalances int
+	// Cancelled marks applications withdrawn by a Cancel event and never
+	// resubmitted; nil for static runs. A cancelled application has no
+	// surviving placements and its CompletedAt is the withdrawal time.
+	Cancelled []bool
+	// Restarts records every from-scratch restart (a rescheduling that
+	// discarded completed work, or a resubmission): each application's
+	// surviving placements all start at or after its latest restart.
+	Restarts []events.Restart
+	// Reschedules counts rescheduling-policy invocations (one per
+	// application per invalidating event).
+	Reschedules int
+	// EventsApplied counts the timeline events processed.
+	EventsApplied int
 }
 
 // taskState tracks one task through the online run.
@@ -123,6 +145,15 @@ type scheduler struct {
 	// running and committed placements.
 	avail [][]float64
 
+	// Dynamic-scenario state (see dynamic.go). dyn is set when a timeline
+	// is present; the static path never consults downC/cancelled and keeps
+	// speed equal to the configured cluster speeds.
+	dyn       bool
+	policy    ReschedulePolicy
+	speed     []float64 // effective per-cluster speed
+	downC     []bool    // cluster currently failed
+	cancelled []bool    // application currently withdrawn
+
 	events eventHeap
 	now    float64
 }
@@ -157,12 +188,47 @@ func Schedule(pf *platform.Platform, arrivals []Arrival, opts Options) *Result {
 	}
 
 	s.avail = make([][]float64, len(pf.Clusters))
+	s.speed = make([]float64, len(pf.Clusters))
+	s.downC = make([]bool, len(pf.Clusters))
 	for k, c := range pf.Clusters {
 		s.avail[k] = make([]float64, c.Procs)
+		s.speed[k] = c.Speed
+	}
+	s.cancelled = make([]bool, len(arrivals))
+
+	if len(opts.Timeline) > 0 {
+		s.dyn = true
+		s.policy = opts.Policy
+		if s.policy == nil {
+			s.policy = RestartPolicy()
+		}
+		s.result.Cancelled = make([]bool, len(arrivals))
+		s.pushTimeline(opts.Timeline)
 	}
 
 	s.run()
+	s.finish()
 	return s.result
+}
+
+// finish checks the run drained completely and normalizes the records of
+// applications that never executed (withdrawn before starting).
+func (s *scheduler) finish() {
+	for i := range s.arrivals {
+		if s.cancelled[i] {
+			continue
+		}
+		if s.done[i] < len(s.tasks[i]) {
+			// Only reachable when every cluster a point has fails forever
+			// with work outstanding; the scenario layer rejects such specs.
+			panic(fmt.Sprintf("online: application %d incomplete with no events left (all clusters down forever?)", i))
+		}
+	}
+	for i := range s.result.Apps {
+		if math.IsInf(s.result.Apps[i].StartedAt, 1) {
+			s.result.Apps[i].StartedAt = s.result.Apps[i].SubmittedAt
+		}
+	}
 }
 
 // stale reports whether a completion event refers to a revoked placement
@@ -198,10 +264,30 @@ func (s *scheduler) handle(ev event) {
 		s.onArrival(ev.app)
 	case evCompletion:
 		s.onCompletion(ev.ot)
+	case evClusterDown:
+		s.result.EventsApplied++
+		s.onClusterDown(ev.cluster)
+	case evClusterUp:
+		s.result.EventsApplied++
+		s.onClusterUp(ev.cluster)
+	case evSpeedChange:
+		s.result.EventsApplied++
+		s.onSpeedChange(ev.cluster, ev.factor)
+	case evCancel:
+		s.result.EventsApplied++
+		s.onCancel(ev.app)
+	case evResubmit:
+		s.result.EventsApplied++
+		s.onResubmit(ev.app)
 	}
 }
 
 func (s *scheduler) onArrival(app int) {
+	if s.arrived[app] || s.cancelled[app] {
+		// Already re-entered via a Resubmit ahead of this arrival, or
+		// withdrawn before arriving.
+		return
+	}
 	s.arrived[app] = true
 	for _, ot := range s.tasks[app] {
 		if ot.remainingPreds == 0 {
@@ -238,11 +324,11 @@ func (s *scheduler) onCompletion(ot *onlineTask) {
 	}
 }
 
-// activeApps returns the arrived, unfinished applications.
+// activeApps returns the arrived, unfinished, not-withdrawn applications.
 func (s *scheduler) activeApps() []int {
 	var ids []int
 	for i := range s.arrivals {
-		if s.arrived[i] && s.done[i] < len(s.tasks[i]) {
+		if s.arrived[i] && !s.cancelled[i] && s.done[i] < len(s.tasks[i]) {
 			ids = append(ids, i)
 		}
 	}
@@ -353,13 +439,17 @@ func (s *scheduler) commit(ot *onlineTask) {
 	var best cand
 	found := false
 	for _, c := range s.pf.Clusters {
-		want := alloc.Translate(a.Procs[ot.task.ID], a.Ref, c)
+		if s.downC[c.Index] {
+			continue
+		}
+		speed := s.speed[c.Index]
+		want := alloc.TranslateTo(a.Procs[ot.task.ID], a.Ref, c.Procs, speed)
 		free := append([]float64(nil), s.avail[c.Index]...)
 		sort.Float64s(free)
 		ready := dataReady(c)
 		eval := func(q int) (float64, float64) {
 			start := math.Max(ready, free[q-1])
-			return start, start + cost.TaskTime(ot.task, c.Speed, q)
+			return start, start + cost.TaskTime(ot.task, speed, q)
 		}
 		start, end := eval(want)
 		cc := cand{cluster: c, procs: want, start: start, end: end}
@@ -382,6 +472,11 @@ func (s *scheduler) commit(ot *onlineTask) {
 		}
 	}
 	if !found {
+		if s.dyn {
+			// Every cluster is down: the task stays ready and is
+			// recommitted at the next recovery's dispatch.
+			return
+		}
 		panic("online: no cluster available")
 	}
 
@@ -420,7 +515,37 @@ type eventKind int
 const (
 	evArrival eventKind = iota
 	evCompletion
+	evClusterDown
+	evClusterUp
+	evSpeedChange
+	evCancel
+	evResubmit
 )
+
+// rank orders same-instant events: completions first (a task finishing
+// exactly when its cluster fails survives, and a finishing application
+// releases its share before anyone decides), then recoveries, speed
+// changes, failures, cancellations, resubmissions, and arrivals last (a
+// newcomer sees the platform state of its instant). Same-kind pairs
+// compare equal, preserving the static path's heap order exactly.
+func (k eventKind) rank() int {
+	switch k {
+	case evCompletion:
+		return 0
+	case evClusterUp:
+		return 1
+	case evSpeedChange:
+		return 2
+	case evClusterDown:
+		return 3
+	case evCancel:
+		return 4
+	case evResubmit:
+		return 5
+	default: // evArrival
+		return 6
+	}
+}
 
 type event struct {
 	at   float64
@@ -430,6 +555,9 @@ type event struct {
 	// placement identifies which commitment a completion event belongs
 	// to; a mismatch with the task's current placement marks it stale.
 	placement *mapping.Placement
+	// cluster and factor parameterize platform events.
+	cluster int
+	factor  float64
 }
 
 type eventHeap []event
@@ -439,12 +567,13 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	// Completions before arrivals at the same instant, so a finishing
-	// application releases its share before the newcomer's rebalance.
-	return h[i].kind == evCompletion && h[j].kind == evArrival
+	return h[i].kind.rank() < h[j].kind.rank()
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+
+// pushEvent enqueues one event (the dynamic machinery's entry point).
+func (s *scheduler) pushEvent(ev event) { heap.Push(&s.events, ev) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -1,13 +1,17 @@
 package scenario
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/rand"
 	"strconv"
 	"strings"
 
 	"ptgsched/internal/dag"
 	"ptgsched/internal/daggen"
+	"ptgsched/internal/events"
 	"ptgsched/internal/experiment"
 	"ptgsched/internal/platform"
 	"ptgsched/internal/strategy"
@@ -28,6 +32,9 @@ type Cell struct {
 	Family daggen.Family
 	// Online is nil for offline (concurrent-submission) cells.
 	Online *OnlineCell
+	// Policy names the rescheduling policy of dynamic-scenario cells
+	// (specs with a non-empty events axis); empty for static cells.
+	Policy string
 	// Config is the resolved experiment campaign this cell is a slice of:
 	// its NPTGs, Reps, Platforms, Strategies, Labels, Seed and Gen fields
 	// drive experiment.RunOne for every point of the cell.
@@ -83,6 +90,11 @@ type Expansion struct {
 	reps      int
 	perCell   int // points per cell = len(nptgs) * reps * len(Platforms)
 	numPoints int
+
+	// digest seeds per-point event timelines: TimelineFor hashes (digest,
+	// point index), so timelines are invariant under sharding and
+	// execution order.
+	digest string
 }
 
 // Engine-level expansion caps: Expand refuses sweeps whose cartesian
@@ -145,6 +157,15 @@ func EstimatePoints(spec *Spec) (cells, points int, err error) {
 		}
 	}
 
+	// A non-empty events axis crosses every cell with the rescheduling
+	// policies (default: restart only); an empty or absent one adds no
+	// axis at all, keeping the expansion identical to a spec without the
+	// field.
+	policyCells := 1
+	if !spec.Events.Empty() && len(spec.Events.Policies) > 0 {
+		policyCells = len(spec.Events.Policies)
+	}
+
 	families := spec.Families
 	if len(families) == 0 {
 		families = []FamilySpec{{Family: "random"}}
@@ -179,7 +200,7 @@ func EstimatePoints(spec *Spec) (cells, points int, err error) {
 				grid = mulCap(grid, axis(len(f.Complexities), 1))
 			}
 		}
-		cells += mulCap(grid, onlineCells)
+		cells += mulCap(mulCap(grid, onlineCells), policyCells)
 		if cells > MaxCells {
 			return 0, 0, fmt.Errorf("scenario: spec expands to over %d cells", MaxCells)
 		}
@@ -238,7 +259,25 @@ func Expand(spec *Spec) (*Expansion, error) {
 		return nil, err
 	}
 
-	// Cells: family entries × grid points × arrival points, in spec order.
+	// The rescheduling-policy axis of a non-empty events timeline. A point
+	// must always be able to finish, so a spec whose scripted permanent
+	// failures cover every cluster of some platform is rejected here, with
+	// the platforms resolved.
+	policies := []string{""}
+	if !spec.Events.Empty() {
+		policies = spec.Events.Policies
+		if len(policies) == 0 {
+			policies = []string{"restart"}
+		}
+		for _, pf := range e.Platforms {
+			if len(spec.Events.PermanentDowns(len(pf.Clusters))) == len(pf.Clusters) {
+				return nil, fmt.Errorf("scenario: events fail every cluster of platform %q permanently; points there could never finish", pf.Name)
+			}
+		}
+	}
+
+	// Cells: family entries × grid points × arrival points × rescheduling
+	// policies, in spec order.
 	for _, f := range families {
 		gridCells, err := expandFamily(f)
 		if err != nil {
@@ -250,30 +289,36 @@ func Expand(spec *Spec) (*Expansion, error) {
 				return nil, err
 			}
 			for _, oc := range onlineCells {
-				label := gc.label
-				if oc != nil {
-					label += "+" + oc.Process.String()
-					if oc.Process != workload.Burst {
-						label += fmt.Sprintf("@%g", oc.Rate)
+				for _, pol := range policies {
+					label := gc.label
+					if oc != nil {
+						label += "+" + oc.Process.String()
+						if oc.Process != workload.Burst {
+							label += fmt.Sprintf("@%g", oc.Rate)
+						}
 					}
+					if pol != "" {
+						label += fmt.Sprintf("+dyn[%s]", pol)
+					}
+					cell := &Cell{
+						Index:  len(e.Cells),
+						Label:  label,
+						Family: gc.family,
+						Online: oc,
+						Policy: pol,
+						Config: experiment.Config{
+							Family:     gc.family,
+							NPTGs:      nptgs,
+							Reps:       reps,
+							Platforms:  e.Platforms,
+							Strategies: strats,
+							Labels:     labels,
+							Seed:       spec.Seed,
+							Gen:        gc.gen,
+						},
+					}
+					e.Cells = append(e.Cells, cell)
 				}
-				cell := &Cell{
-					Index:  len(e.Cells),
-					Label:  label,
-					Family: gc.family,
-					Online: oc,
-					Config: experiment.Config{
-						Family:     gc.family,
-						NPTGs:      nptgs,
-						Reps:       reps,
-						Platforms:  e.Platforms,
-						Strategies: strats,
-						Labels:     labels,
-						Seed:       spec.Seed,
-						Gen:        gc.gen,
-					},
-				}
-				e.Cells = append(e.Cells, cell)
 			}
 		}
 	}
@@ -285,7 +330,33 @@ func Expand(spec *Spec) (*Expansion, error) {
 	e.reps = reps
 	e.perCell = len(nptgs) * reps * len(e.Platforms)
 	e.numPoints = len(e.Cells) * e.perCell
+	e.digest = SpecDigest(spec)
 	return e, nil
+}
+
+// TimelineFor draws the event timeline point p runs under: a pure function
+// of (spec digest, point index), so the same point gets the same timeline
+// on any shard, at any worker count, in any execution order. Static specs
+// (absent or empty events axis) yield nil.
+func (e *Expansion) TimelineFor(p Point) events.Timeline {
+	if e.Spec.Events.Empty() {
+		return nil
+	}
+	pf := e.Platforms[p.Platform]
+	r := rand.New(rand.NewSource(eventSeed(e.digest, p.Index)))
+	return e.Spec.Events.Generate(len(pf.Clusters), p.NPTGs, r)
+}
+
+// eventSeed hashes the spec digest and a point index into the timeline
+// seed (FNV-64a; any stable mixing works, it only has to be deterministic
+// and spread).
+func eventSeed(digest string, index int) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, digest)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(index))
+	h.Write(b[:])
+	return int64(h.Sum64())
 }
 
 // NumPoints returns the expansion cardinality: the number of scenario

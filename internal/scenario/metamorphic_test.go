@@ -13,6 +13,8 @@ import (
 	"ptgsched/internal/core"
 	"ptgsched/internal/dag"
 	"ptgsched/internal/daggen"
+	"ptgsched/internal/events"
+	"ptgsched/internal/online"
 	"ptgsched/internal/platform"
 	"ptgsched/internal/strategy"
 )
@@ -142,6 +144,65 @@ func TestAddingClusterNeverWorsensBestMakespan(t *testing.T) {
 				if big > small*(1+tol) {
 					t.Errorf("family %s seed %d n=%d: adding a cluster worsened best makespan %g → %g",
 						fam, seed, n, small, big)
+				}
+			}
+		}
+	}
+}
+
+// onlineBestMakespan runs the batch as a concurrent burst through the
+// online engine under every registered strategy and returns the best
+// global makespan.
+func onlineBestMakespan(t *testing.T, pf *platform.Platform, graphs []*dag.Graph, fam daggen.Family, tl events.Timeline, policy online.ReschedulePolicy) float64 {
+	t.Helper()
+	arrivals := make([]online.Arrival, len(graphs))
+	for i, g := range graphs {
+		arrivals[i] = online.Arrival{Graph: g}
+	}
+	best := 0.0
+	for i, name := range strategy.Names() {
+		strat, err := strategy.ByName(name, -1, fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := online.Schedule(pf, arrivals, online.Options{Strategy: strat, Timeline: tl, Policy: policy})
+		if i == 0 || res.Makespan < best {
+			best = res.Makespan
+		}
+	}
+	return best
+}
+
+// TestInjectingFailureNeverImprovesBestMakespan: the dual of the
+// added-cluster monotonicity test — taking a cluster away for a window
+// (killing its in-flight work) strictly cannot improve the best
+// strategy's makespan on the same deterministic scenario sample, under
+// either rescheduling policy. Failure instants are placed at fractions of
+// the failure-free best makespan so the outage always lands mid-run.
+func TestInjectingFailureNeverImprovesBestMakespan(t *testing.T) {
+	const tol = 1e-9
+	pf := platform.Rennes()
+	policies := []online.ReschedulePolicy{online.RestartPolicy(), online.CheckpointPolicy()}
+	for _, fam := range []daggen.Family{daggen.FamilyRandom, daggen.FamilyStrassen} {
+		for _, seed := range []int64{1, 2} {
+			graphs := batch(t, fam, 3, seed)
+			baseline := onlineBestMakespan(t, pf, graphs, fam, nil, nil)
+			if baseline <= 0 {
+				t.Fatalf("family %s seed %d: degenerate baseline makespan %g", fam, seed, baseline)
+			}
+			for _, frac := range []float64{0.3, 0.7} {
+				failAt := baseline * frac
+				tl := events.Timeline{
+					{At: failAt, Kind: events.ClusterDown, Cluster: 0},
+					{At: failAt + baseline*0.25, Kind: events.ClusterUp, Cluster: 0},
+				}
+				tl.Sort()
+				for _, policy := range policies {
+					failed := onlineBestMakespan(t, pf, graphs, fam, tl, policy)
+					if failed < baseline*(1-tol) {
+						t.Errorf("family %s seed %d frac %g policy %s: failure improved best makespan %g → %g",
+							fam, seed, frac, policy.Name(), baseline, failed)
+					}
 				}
 			}
 		}

@@ -29,6 +29,9 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"ptgsched/internal/events"
+	"ptgsched/internal/online"
 )
 
 // Spec is a declarative campaign: the JSON wire format of ptgbench
@@ -61,6 +64,14 @@ type Spec struct {
 	// Online, when present, switches every point to the §8 dynamic-arrival
 	// scheduler and sweeps its arrival processes and rates.
 	Online *OnlineSpec `json:"online,omitempty"`
+	// Events, when present and non-empty, runs every point under a
+	// dynamic-scenario event timeline (cluster failures, recoveries, speed
+	// changes, PTG cancellation/resubmission) and sweeps the rescheduling
+	// policies as an extra cell axis. Per-point timelines derive
+	// deterministically from (spec digest, point index), so points stay
+	// bit-identical and shardable. An explicitly empty events object is
+	// exactly equivalent to omitting the field.
+	Events *events.Spec `json:"events,omitempty"`
 }
 
 // PlatformSpec is an inline platform description.
@@ -276,6 +287,16 @@ func (s *Spec) validate() error {
 		for _, r := range s.Online.Rates {
 			if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 				return fmt.Errorf("scenario: online rate %g must be positive and finite", r)
+			}
+		}
+	}
+	if s.Events != nil {
+		if err := s.Events.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		for _, p := range s.Events.Policies {
+			if _, err := online.PolicyByName(p); err != nil {
+				return fmt.Errorf("scenario: %w", err)
 			}
 		}
 	}

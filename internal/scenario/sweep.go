@@ -43,6 +43,9 @@ type PointResult struct {
 // RunPoint executes one scenario point on the calling goroutine.
 func (e *Expansion) RunPoint(p Point) PointResult {
 	c := e.Cells[p.Cell]
+	if c.Policy != "" {
+		return e.runDynamicPoint(c, p)
+	}
 	if c.Online == nil {
 		m := experiment.RunOne(c.Config, p.NIdx, p.Rep, p.Platform)
 		return PointResult{
@@ -51,6 +54,87 @@ func (e *Expansion) RunPoint(p Point) PointResult {
 		}
 	}
 	return e.runOnlinePoint(c, p)
+}
+
+// runDynamicPoint measures one dynamic-scenario point: the point's
+// workload (its arrival process, or a concurrent burst for offline-style
+// cells — drawn from the point seed in the same order as the static
+// paths), replayed per strategy through the online engine under the
+// point's event timeline and the cell's rescheduling policy. Cancelled
+// applications are excluded from the flow-time metrics; the relative
+// makespans are guarded, since a point whose applications are all
+// cancelled has no positive makespan.
+func (e *Expansion) runDynamicPoint(c *Cell, p Point) PointResult {
+	process, rate := workload.Burst, 0.0
+	if c.Online != nil {
+		process, rate = c.Online.Process, c.Online.Rate
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	arrivals := workload.Generate(workload.Spec{
+		Family:  c.Family,
+		Count:   p.NPTGs,
+		Process: process,
+		Rate:    rate,
+		Gen:     c.Config.Gen,
+	}, r)
+	timeline := e.TimelineFor(p)
+	policy, err := online.PolicyByName(c.Policy)
+	if err != nil {
+		// Policies were validated at parse time; an unknown one here is an
+		// engine bug.
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+
+	out := PointResult{
+		Index: p.Index, Cell: p.Cell, Name: p.Name,
+		Unfairness: make([]float64, len(c.Config.Strategies)),
+		Makespan:   make([]float64, len(c.Config.Strategies)),
+	}
+	pf := e.Platforms[p.Platform]
+	for s, strat := range c.Config.Strategies {
+		res := online.Schedule(pf, arrivals, online.Options{
+			Strategy: strat,
+			Timeline: timeline,
+			Policy:   policy,
+		})
+		flows := make([]float64, 0, len(res.Apps))
+		for i, app := range res.Apps {
+			if res.Cancelled != nil && res.Cancelled[i] {
+				continue
+			}
+			flows = append(flows, app.FlowTime())
+		}
+		out.Makespan[s] = res.Makespan
+		out.Unfairness[s] = flowUnfairness(flows)
+	}
+	out.Rel = relMakespansGuarded(out.Makespan)
+	return out
+}
+
+// relMakespansGuarded is metrics.RelativeMakespans with the dynamic case's
+// degenerate points allowed: the best makespan is the smallest positive
+// one; with none positive (every application cancelled) all ratios are 1,
+// and a zero makespan maps to 0. All outputs are finite, keeping the JSONL
+// wire format intact.
+func relMakespansGuarded(mk []float64) []float64 {
+	best := math.Inf(1)
+	for _, m := range mk {
+		if m > 0 && m < best {
+			best = m
+		}
+	}
+	rel := make([]float64, len(mk))
+	for i, m := range mk {
+		switch {
+		case math.IsInf(best, 1):
+			rel[i] = 1
+		case m <= 0:
+			rel[i] = 0
+		default:
+			rel[i] = m / best
+		}
+	}
+	return rel
 }
 
 // runOnlinePoint measures one dynamic-arrivals point: a workload drawn

@@ -29,6 +29,11 @@ const (
 	// MaxCampaignStrategies bounds the comparison set: every strategy
 	// entry multiplies the per-point work, so it is part of the budget.
 	MaxCampaignStrategies = 64
+	// MaxCampaignEvents bounds the per-point dynamic event budget a spec's
+	// events block may imply (scripted events plus the worst-case draw of
+	// every failure process): each event replays through the online engine
+	// on every point, so it multiplies per-point work like a strategy does.
+	MaxCampaignEvents = 256
 )
 
 // Default admission limits. The streaming pipeline — lazy point

@@ -133,6 +133,10 @@ func TestCampaignValidation(t *testing.T) {
 			`{"reps": 1, "nptgs": [2], "platforms": ["lille"], "strategies": [` +
 				strings.Repeat(`{"name": "S"},`, 70) + `{"name": "ES"}]}`)}},
 		{"trailing shard garbage", service.CampaignRequest{Spec: json.RawMessage(smallCampaignSpec), Shard: "0/2junk"}},
+		{"events budget cap", service.CampaignRequest{Spec: json.RawMessage(
+			`{"reps": 1, "nptgs": [2], "events": {"failures": [{"cluster": 0, "mttf": 10, "mttr": 2, "count": 200}]}}`)}},
+		{"unknown reschedule policy", service.CampaignRequest{Spec: json.RawMessage(
+			`{"reps": 1, "nptgs": [2], "events": {"cancels": [{"app": 0, "at": 1}], "policies": ["optimist"]}}`)}},
 	}
 	for _, tc := range cases {
 		_, err := s.Campaign(context.Background(), tc.req)

@@ -748,5 +748,9 @@ func (r CampaignRequest) resolveSpecCaps() (*scenario.Spec, error) {
 			}
 		}
 	}
+	if n := spec.Events.Count(); n > MaxCampaignEvents {
+		return nil, fmt.Errorf("service: events block implies up to %d events per point, cap is %d",
+			n, MaxCampaignEvents)
+	}
 	return spec, nil
 }

@@ -1,0 +1,171 @@
+package trace_test
+
+// Rejection tests of the dynamic-scenario oracle: each invalid trace a
+// dynamic run could produce — a placement overlapping a down window, a
+// release violated after a reschedule, a cancelled application leaving
+// placements behind, capacity exceeded — must be detected with a
+// distinguishable error message.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ptgsched/internal/dag"
+	"ptgsched/internal/events"
+	"ptgsched/internal/mapping"
+	"ptgsched/internal/platform"
+	"ptgsched/internal/trace"
+)
+
+// dynFixture builds a one-cluster platform, a two-task chain, and a valid
+// placement pair for it.
+func dynFixture() (*platform.Platform, []*dag.Graph, []*mapping.Placement) {
+	pf := platform.New("tiny", true, platform.ClusterSpec{Name: "c", Procs: 4, Speed: 1})
+	c := pf.Clusters[0]
+	g := dag.New("g")
+	t0 := g.AddTask("t0", 1, 1, 0)
+	t1 := g.AddTask("t1", 1, 1, 0)
+	g.MustAddEdge(t0, t1, 0)
+	ps := []*mapping.Placement{
+		{App: 0, Task: t0, Cluster: c, Procs: []int{0}, Start: 10, End: 11},
+		{App: 0, Task: t1, Cluster: c, Procs: []int{0}, Start: 11.5, End: 12},
+	}
+	return pf, []*dag.Graph{g}, ps
+}
+
+func TestDynamicOracleAcceptsCleanTrace(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		DownIntervals: [][]events.Interval{{{From: 0, To: 5}}},
+		Releases:      []float64{0},
+		Cancelled:     []bool{false},
+	})
+	if err != nil {
+		t.Fatalf("clean dynamic trace rejected: %v", err)
+	}
+}
+
+func TestDynamicOracleRejectsDownOverlap(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	// The outage [10.5, 20) cuts through both placements.
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		DownIntervals: [][]events.Interval{{{From: 10.5, To: 20}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "down interval") {
+		t.Fatalf("down-interval overlap not detected: %v", err)
+	}
+}
+
+func TestDynamicOracleRejectsPermanentDownOverlap(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	// An unrecovered failure: the outage extends to +Inf.
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		DownIntervals: [][]events.Interval{{{From: 11.5, To: math.Inf(1)}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "down interval") {
+		t.Fatalf("permanent-outage overlap not detected: %v", err)
+	}
+}
+
+func TestDynamicOracleAllowsPlacementTouchingOutageEdge(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	// Outage ends exactly when the first placement starts and the next one
+	// begins exactly when a later outage starts: boundary contact is legal.
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		DownIntervals: [][]events.Interval{{{From: 0, To: 10}, {From: 12, To: 13}}},
+	})
+	if err != nil {
+		t.Fatalf("boundary-touching placements rejected: %v", err)
+	}
+}
+
+func TestDynamicOracleRejectsStartBeforeRestart(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	// The application restarted from scratch at t=11.5, yet a placement
+	// from before the restart survived.
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		Releases: []float64{0},
+		Restarts: []events.Restart{{App: 0, At: 11.5}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "restart at") {
+		t.Fatalf("pre-restart placement not detected: %v", err)
+	}
+}
+
+func TestDynamicOracleRestartSupersedesRelease(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	// A resubmission is a new submission: placements may precede the
+	// original release (20) as long as they follow the restart (10).
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		Releases: []float64{20},
+		Restarts: []events.Restart{{App: 0, At: 10}},
+	})
+	if err != nil {
+		t.Fatalf("restart did not supersede the original release: %v", err)
+	}
+}
+
+func TestDynamicOracleRejectsUnknownRestartApp(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		Restarts: []events.Restart{{App: 3, At: 1}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown application") {
+		t.Fatalf("restart for unknown application not detected: %v", err)
+	}
+}
+
+func TestDynamicOracleRejectsCancelledAppWithPlacements(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		Cancelled: []bool{true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cancelled application") {
+		t.Fatalf("cancelled application's leftovers not detected: %v", err)
+	}
+}
+
+func TestDynamicOracleExemptsCancelledAppFromCompleteness(t *testing.T) {
+	pf, graphs, _ := dynFixture()
+	// A cancelled application with no placements at all is complete.
+	err := trace.ValidateDynamic(pf, graphs, nil, trace.Dynamic{
+		Cancelled: []bool{true},
+	})
+	if err != nil {
+		t.Fatalf("empty cancelled application rejected: %v", err)
+	}
+}
+
+func TestDynamicOracleRejectsCapacityAfterSpeedChange(t *testing.T) {
+	// A buggy engine that forgets a speed change would keep stale (shorter)
+	// end times, piling overlapping placements beyond cluster capacity. The
+	// capacity sweep runs unchanged in the dynamic oracle and must flag it.
+	pf := platform.New("tiny", true, platform.ClusterSpec{Name: "c", Procs: 2, Speed: 1})
+	c := pf.Clusters[0]
+	g := dag.New("g")
+	t0 := g.AddTask("t0", 1, 1, 0)
+	t1 := g.AddTask("t1", 1, 1, 0)
+	ps := []*mapping.Placement{
+		{App: 0, Task: t0, Cluster: c, Procs: []int{0, 1}, Start: 0, End: 8},
+		{App: 0, Task: t1, Cluster: c, Procs: []int{0, 1}, Start: 4, End: 12},
+	}
+	err := trace.ValidateDynamic(pf, graphs(g), ps, trace.Dynamic{
+		DownIntervals: [][]events.Interval{nil},
+	})
+	if err == nil || !strings.Contains(err.Error(), "oversubscribed") {
+		t.Fatalf("post-speed-change oversubscription not detected: %v", err)
+	}
+}
+
+func TestDynamicOracleRejectsMismatchedCancelLength(t *testing.T) {
+	pf, graphs, ps := dynFixture()
+	err := trace.ValidateDynamic(pf, graphs, ps, trace.Dynamic{
+		Cancelled: []bool{false, true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cancellation marks") {
+		t.Fatalf("mismatched cancellation vector accepted: %v", err)
+	}
+}
+
+func graphs(gs ...*dag.Graph) []*dag.Graph { return gs }

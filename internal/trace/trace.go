@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"ptgsched/internal/dag"
+	"ptgsched/internal/events"
 	"ptgsched/internal/mapping"
 	"ptgsched/internal/platform"
 )
@@ -70,13 +71,64 @@ func ValidateReleases(s *mapping.Schedule, releases []float64) error {
 //
 // Validate and ValidateReleases are thin wrappers for *mapping.Schedule
 // values; the online scheduler's results are validated directly from their
-// placement lists.
+// placement lists. ValidateDynamic extends the oracle to dynamic
+// scenarios.
 func ValidatePlacements(pf *platform.Platform, graphs []*dag.Graph, placements []*mapping.Placement, releases []float64) error {
+	return ValidateDynamic(pf, graphs, placements, Dynamic{Releases: releases})
+}
+
+// Dynamic is the dynamic-scenario context the extended oracle validates a
+// placement list against. The zero value reduces ValidateDynamic to the
+// static ValidatePlacements checks.
+type Dynamic struct {
+	// DownIntervals gives, per platform cluster index, the outage windows
+	// of the run's event timeline (events.Timeline.DownIntervals); no
+	// surviving placement may overlap a down window of its cluster.
+	DownIntervals [][]events.Interval
+	// Releases are per-application submission times, as in
+	// ValidatePlacements.
+	Releases []float64
+	// Cancelled marks applications withdrawn and never resubmitted; a
+	// cancelled application must have no placements at all, and its tasks
+	// are exempt from the completeness check.
+	Cancelled []bool
+	// Restarts are the engine's from-scratch restart records: every
+	// placement of application r.App must start at or after r.At (all
+	// earlier work was discarded).
+	Restarts []events.Restart
+}
+
+// ValidateDynamic is the schedule-invariant oracle over a bare placement
+// list under a dynamic scenario: all the ValidatePlacements checks, plus
+// no placement overlapping a down window of its cluster, no placement of a
+// cancelled application, and restart-time respect (releases carried across
+// reschedules). It returns the first violation found, or nil.
+func ValidateDynamic(pf *platform.Platform, graphs []*dag.Graph, placements []*mapping.Placement, dyn Dynamic) error {
+	releases := dyn.Releases
 	if releases != nil && len(releases) != len(graphs) {
 		return fmt.Errorf("trace: %d release times for %d applications", len(releases), len(graphs))
 	}
+	if dyn.Cancelled != nil && len(dyn.Cancelled) != len(graphs) {
+		return fmt.Errorf("trace: %d cancellation marks for %d applications", len(dyn.Cancelled), len(graphs))
+	}
+	// restartAt[i]: the application's latest from-scratch restart. A
+	// restart supersedes the original release as the effective release of
+	// the surviving placements — a resubmission is a new submission, which
+	// may even precede the original arrival it replaced.
+	restartAt := make([]float64, len(graphs))
+	hasRestart := make([]bool, len(graphs))
+	for _, r := range dyn.Restarts {
+		if r.App < 0 || r.App >= len(graphs) {
+			return fmt.Errorf("trace: restart references unknown application %d", r.App)
+		}
+		if !hasRestart[r.App] || r.At > restartAt[r.App] {
+			restartAt[r.App] = r.At
+		}
+		hasRestart[r.App] = true
+	}
 
-	// 1. Placement uniqueness and completeness per application.
+	// 1. Placement uniqueness and completeness per application; cancelled
+	// applications must have left nothing behind.
 	byApp := make([]map[int]*mapping.Placement, len(graphs))
 	for i := range byApp {
 		byApp[i] = make(map[int]*mapping.Placement, len(graphs[i].Tasks))
@@ -85,12 +137,18 @@ func ValidatePlacements(pf *platform.Platform, graphs []*dag.Graph, placements [
 		if p.App < 0 || p.App >= len(graphs) {
 			return fmt.Errorf("trace: %s references unknown application %d", p, p.App)
 		}
+		if dyn.Cancelled != nil && dyn.Cancelled[p.App] {
+			return fmt.Errorf("trace: %s belongs to cancelled application %d", p, p.App)
+		}
 		if prev := byApp[p.App][p.Task.ID]; prev != nil {
 			return fmt.Errorf("trace: app %d task %q placed twice", p.App, p.Task.Name)
 		}
 		byApp[p.App][p.Task.ID] = p
 	}
 	for ai, g := range graphs {
+		if dyn.Cancelled != nil && dyn.Cancelled[ai] {
+			continue
+		}
 		for _, t := range g.Tasks {
 			if byApp[ai][t.ID] == nil {
 				return fmt.Errorf("trace: app %d task %q not placed", ai, t.Name)
@@ -98,7 +156,8 @@ func ValidatePlacements(pf *platform.Platform, graphs []*dag.Graph, placements [
 		}
 	}
 
-	// 2. Allotment bounds, span sanity, release-time respect.
+	// 2. Allotment bounds, span sanity, release- and restart-time respect,
+	// down-interval avoidance.
 	type span struct {
 		start, end float64
 		label      string
@@ -114,9 +173,22 @@ func ValidatePlacements(pf *platform.Platform, graphs []*dag.Graph, placements [
 		if len(p.Procs) > p.Cluster.Procs {
 			return fmt.Errorf("trace: %s uses more processors than cluster has", p)
 		}
-		if releases != nil && p.Start < releases[p.App]-tol {
+		if hasRestart[p.App] {
+			if p.Start < restartAt[p.App]-tol {
+				return fmt.Errorf("trace: %s starts before its application's restart at %g",
+					p, restartAt[p.App])
+			}
+		} else if releases != nil && p.Start < releases[p.App]-tol {
 			return fmt.Errorf("trace: %s starts before its application's release at %g",
 				p, releases[p.App])
+		}
+		if dyn.DownIntervals != nil && p.Cluster.Index < len(dyn.DownIntervals) {
+			for _, iv := range dyn.DownIntervals[p.Cluster.Index] {
+				if iv.Overlaps(p.Start, p.End, tol) {
+					return fmt.Errorf("trace: %s overlaps down interval [%g, %g) of cluster %s",
+						p, iv.From, iv.To, p.Cluster.Name)
+				}
+			}
 		}
 		seen := make(map[int]bool, len(p.Procs))
 		for _, i := range p.Procs {
@@ -151,8 +223,12 @@ func ValidatePlacements(pf *platform.Platform, graphs []*dag.Graph, placements [
 		return err
 	}
 
-	// 4. Precedence with contention-free redistribution estimates.
+	// 4. Precedence with contention-free redistribution estimates
+	// (cancelled applications have no placements to check).
 	for ai, g := range graphs {
+		if dyn.Cancelled != nil && dyn.Cancelled[ai] {
+			continue
+		}
 		for _, e := range g.Edges {
 			from, to := byApp[ai][e.From.ID], byApp[ai][e.To.ID]
 			need := from.End + pf.TransferTime(from.Cluster, to.Cluster, e.Bytes)

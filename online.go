@@ -21,6 +21,22 @@ type (
 	OnlineResult = online.Result
 	// OnlineAppResult is one application's submission/start/completion.
 	OnlineAppResult = online.AppResult
+	// ReschedulePolicy decides which work a platform failure invalidates:
+	// the restart baseline discards everything, the checkpoint-aware policy
+	// keeps completed tasks that survived.
+	ReschedulePolicy = online.ReschedulePolicy
+)
+
+// Rescheduling policies for dynamic (event-timeline) runs.
+var (
+	// RestartPolicy re-executes every affected application from scratch.
+	RestartPolicy = online.RestartPolicy
+	// CheckpointPolicy re-executes only the work a failure actually killed.
+	CheckpointPolicy = online.CheckpointPolicy
+	// ReschedulePolicyByName resolves "restart" or "checkpoint".
+	ReschedulePolicyByName = online.PolicyByName
+	// ReschedulePolicyNames lists the registered policy names.
+	ReschedulePolicyNames = online.PolicyNames
 )
 
 // ScheduleOnline runs the online scheduler: applications arrive over time,
