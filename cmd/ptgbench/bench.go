@@ -31,6 +31,14 @@ type BenchResult struct {
 	FleetReassignments   float64 `json:"fleet_reassignments,omitempty"`
 	FleetWorkerDeaths    float64 `json:"fleet_worker_deaths,omitempty"`
 	FleetDuplicatePoints float64 `json:"fleet_duplicate_points,omitempty"`
+	// QueryBytesRead and QueryDecodedLines carry the StoreQuery pair's
+	// pushdown evidence: bytes fetched and records unmarshalled for one
+	// selective query, against QueryBytesTotal (the store's whole valid
+	// extent — what the full-scan variant reads every time). Zero for
+	// every other benchmark.
+	QueryBytesRead    float64 `json:"query_bytes_read,omitempty"`
+	QueryDecodedLines float64 `json:"query_decoded_lines,omitempty"`
+	QueryBytesTotal   float64 `json:"query_bytes_total,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_mapping.json: the frozen seed baseline
@@ -134,6 +142,10 @@ func bench(w io.Writer, jsonPath string) error {
 			FleetReassignments:   res.Extra["fleet-reassignments"],
 			FleetWorkerDeaths:    res.Extra["fleet-worker-deaths"],
 			FleetDuplicatePoints: res.Extra["fleet-duplicate-points"],
+
+			QueryBytesRead:    res.Extra["query-bytes-read"],
+			QueryDecodedLines: res.Extra["query-decoded-lines"],
+			QueryBytesTotal:   res.Extra["query-bytes-total"],
 		}
 		report.Current = append(report.Current, cur)
 		speedup, allocRatio := 0.0, 0.0

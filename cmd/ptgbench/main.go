@@ -107,6 +107,13 @@ func run(argv []string, w io.Writer) error {
 		merge        = fs.String("merge", "", "campaign: comma-separated shard JSONL files or directories of *.jsonl segments to aggregate instead of running")
 		storeDir     = fs.String("store", "", "campaign: append results to a durable store at this directory (crash-safe; resumable)")
 		resume       = fs.Bool("resume", false, "campaign: open the existing -store and run only its pending points")
+		queryFlag    = fs.Bool("query", false, "campaign: read the -store back through the indexed query path instead of sweeping")
+		qFamily      = fs.String("family", "", "query: only cells of this PTG family (random, fft, strassen)")
+		qStrategy    = fs.String("strategy", "", "query: project results to this strategy's column (paper name, e.g. WPS-work)")
+		qFrom        = fs.Int("from", 0, "query: first global point index of the selection")
+		qTo          = fs.Int("to", -1, "query: end of the selection, exclusive (default: end of the expansion; 0 is the empty range)")
+		qFormat      = fs.String("format", "table", "query: table (aggregate rows) or jsonl (matching records)")
+		qFullScan    = fs.Bool("fullscan", false, "query: bypass the segment indexes and decode every record (differential check)")
 		coordinate   = fs.String("coordinate", "", "campaign: comma-separated ptgserve worker addresses to distribute the sweep over (fault-tolerant fleet mode)")
 		fleetShards  = fs.Int("fleet-shards", 0, "coordinate: shard leases to split the campaign into (default: one per worker)")
 		pollEvery    = fs.Duration("poll", 0, "coordinate: worker progress poll interval (default: 500ms)")
@@ -126,6 +133,21 @@ func run(argv []string, w io.Writer) error {
 		return errUsage
 	}
 
+	if *queryFlag {
+		if *campaignPath == "" || *storeDir == "" {
+			return fmt.Errorf("-query requires -campaign and -store")
+		}
+		if *shard != "" || *jsonl != "" || *merge != "" || *resume || *coordinate != "" {
+			return fmt.Errorf("-query is exclusive with -shard, -jsonl, -merge, -resume and -coordinate (it only reads the store back)")
+		}
+		return queryMode(w, *campaignPath, *storeDir, queryOpts{
+			family: *qFamily, strategy: *qStrategy, from: *qFrom, to: *qTo,
+			format: *qFormat, fullScan: *qFullScan,
+		})
+	}
+	if *qFamily != "" || *qStrategy != "" || *qFrom != 0 || *qTo != -1 || *qFormat != "table" || *qFullScan {
+		return fmt.Errorf("-family, -strategy, -from, -to, -format and -fullscan require -query")
+	}
 	if *coordinate != "" {
 		if *campaignPath == "" {
 			return fmt.Errorf("-coordinate requires -campaign")

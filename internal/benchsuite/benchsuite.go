@@ -27,9 +27,11 @@ import (
 	"ptgsched/internal/faultinject"
 	"ptgsched/internal/mapping"
 	"ptgsched/internal/platform"
+	"ptgsched/internal/query"
 	"ptgsched/internal/scenario"
 	"ptgsched/internal/service"
 	"ptgsched/internal/sim"
+	"ptgsched/internal/store"
 )
 
 // Case is one named benchmark of the regression suite.
@@ -58,6 +60,8 @@ func Suite() []Case {
 		{"CampaignAggregate40kStreaming", func(b *testing.B) { CampaignAggregate40k(b, true) }},
 		{"CampaignAggregate40kMaterialized", func(b *testing.B) { CampaignAggregate40k(b, false) }},
 		{"FleetCoordinate3Workers", FleetCoordinate},
+		{"StoreQueryPushdown", func(b *testing.B) { StoreQuery(b, false) }},
+		{"StoreQueryFullScan", func(b *testing.B) { StoreQuery(b, true) }},
 	}
 }
 
@@ -317,6 +321,86 @@ func FleetCoordinate(b *testing.B) {
 	b.ReportMetric(reassigns/n, "fleet-reassignments")
 	b.ReportMetric(deaths/n, "fleet-worker-deaths")
 	b.ReportMetric(dups/n, "fleet-duplicate-points")
+}
+
+// StoreQuery measures the result-query path over an on-disk store of
+// 3000 synthetic points (three cells across two families, two shard
+// segments, index sidecars built at append time): per iteration, one
+// selective predicate — strassen cells only, projected to WPS-work —
+// streams through Store.Query (fullScan false, the indexed path reading
+// only matching byte runs) or Store.QueryFullScan (true, decoding every
+// record; the contrast number). Custom metrics record the pushdown
+// evidence BENCH_mapping.json freezes: "query-bytes-read" and
+// "query-decoded-lines" against "query-bytes-total" — the indexed
+// variant's read volume must stay the selection's share of the store,
+// not the store's size.
+func StoreQuery(b *testing.B, fullScan bool) {
+	b.Helper()
+	spec, err := scenario.ParseSpec([]byte(
+		`{"name":"querybench","seed":11,"reps":250,"nptgs":[2,4],` +
+			`"platforms":["lille","rennes"],` +
+			`"families":[{"family":"strassen"},{"family":"fft","k":[2,3]}]}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := scenario.Expand(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if e.NumPoints() != 3000 {
+		b.Fatalf("query benchmark spec expands to %d points", e.NumPoints())
+	}
+	dir := b.TempDir()
+	st, err := store.Create(dir, e, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for idx := 0; idx < e.NumPoints(); idx++ {
+		ns := len(e.Cells[e.CellOf(idx)].Config.Strategies)
+		if err := st.Append(synthResult(e, idx, ns)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	ro, err := store.OpenRead(dir, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ro.Close()
+	if n := ro.RebuiltSegments(); n != 0 {
+		b.Fatalf("%d sidecars rebuilt on a cleanly closed store", n)
+	}
+	p, err := query.CompileCached(e, query.Query{
+		Family: "strassen", Strategy: "WPS-work", To: query.NoLimit,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := p.NumSelected()
+
+	var stats store.QueryStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		count := func(scenario.PointResult) error { n++; return nil }
+		if fullScan {
+			stats, err = ro.QueryFullScan(p, count)
+		} else {
+			stats, err = ro.Query(p, count)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != want {
+			b.Fatalf("query emitted %d records, want %d", n, want)
+		}
+	}
+	b.ReportMetric(float64(stats.BytesRead), "query-bytes-read")
+	b.ReportMetric(float64(stats.LinesDecoded), "query-decoded-lines")
+	b.ReportMetric(float64(stats.BytesTotal), "query-bytes-total")
 }
 
 // synthResult fabricates a deterministic, realistically shaped result for

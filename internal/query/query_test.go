@@ -1,0 +1,322 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ptgsched/internal/scenario"
+)
+
+// testSpec covers two families with distinct strategy label sets: the
+// paper set drops PS-width/WPS-width for strassen, so those labels exist
+// only in the fft cells — and a shared label like PS-work sits at a
+// different column index in each family.
+const testSpec = `{
+  "name": "query-unit",
+  "seed": 5,
+  "reps": 3,
+  "nptgs": [2, 4],
+  "platforms": ["lille", "rennes"],
+  "families": [
+    {"family": "strassen"},
+    {"family": "fft", "k": [2, 3]}
+  ]
+}`
+
+func expand(t *testing.T) *scenario.Expansion {
+	t.Helper()
+	spec, err := scenario.ParseSpec([]byte(testSpec))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	e, err := scenario.Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	return e
+}
+
+// fullResult fabricates a deterministic full-width record for point i.
+func fullResult(e *scenario.Expansion, i int) scenario.PointResult {
+	pt := e.PointAt(i)
+	ns := len(e.Cells[pt.Cell].Config.Labels)
+	r := scenario.PointResult{
+		Index: pt.Index, Cell: pt.Cell, Name: pt.Name,
+		Unfairness: make([]float64, ns),
+		Makespan:   make([]float64, ns),
+		Rel:        make([]float64, ns),
+	}
+	for s := 0; s < ns; s++ {
+		r.Unfairness[s] = float64(i) + float64(s)/10
+		r.Makespan[s] = float64(i)*2 + float64(s)/10
+		r.Rel[s] = float64(i)/2 + float64(s)/10
+	}
+	return r
+}
+
+// naive is the reference predicate: a full walk deciding each point by
+// direct inspection of its cell.
+func naive(e *scenario.Expansion, q Query, i int) bool {
+	to := q.To
+	if to < 0 || to > e.NumPoints() {
+		to = e.NumPoints()
+	}
+	if i < q.From || i >= to {
+		return false
+	}
+	c := e.Cells[e.CellOf(i)]
+	if q.Family != "" && c.Family.String() != q.Family {
+		return false
+	}
+	if q.Strategy != "" {
+		found := false
+		for _, l := range c.Config.Labels {
+			if l == q.Strategy {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlanMatchesNaivePredicate(t *testing.T) {
+	e := expand(t)
+	queries := []Query{
+		{To: NoLimit},
+		{Family: "strassen", To: NoLimit},
+		{Family: "fft", To: NoLimit},
+		{Strategy: "PS-width", To: NoLimit},
+		{Strategy: "PS-work", To: NoLimit},
+		{Family: "fft", Strategy: "ES", To: NoLimit},
+		{From: 5, To: 17},
+		{From: 0, To: 0},
+		{From: e.NumPoints() - 1, To: NoLimit},
+		{Family: "strassen", From: 3, To: e.NumPoints() - 2},
+	}
+	for _, q := range queries {
+		p, err := Compile(e, q)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", q, err)
+		}
+		want := 0
+		for i := 0; i < e.NumPoints(); i++ {
+			n := naive(e, q, i)
+			if p.Matches(i) != n {
+				t.Fatalf("%s: Matches(%d)=%v, naive says %v", q, i, p.Matches(i), n)
+			}
+			if n {
+				want++
+			}
+		}
+		if got := p.NumSelected(); got != want {
+			t.Errorf("%s: NumSelected=%d, naive count %d", q, got, want)
+		}
+	}
+}
+
+func TestEachRangeCoversExactlyTheSelection(t *testing.T) {
+	e := expand(t)
+	for _, q := range []Query{
+		{To: NoLimit},
+		{Family: "fft", To: NoLimit},
+		{Family: "strassen", From: 2, To: 20},
+		{Strategy: "PS-width", From: 10, To: NoLimit},
+		{From: 7, To: 7},
+	} {
+		p, err := Compile(e, q)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", q, err)
+		}
+		covered := make([]bool, e.NumPoints())
+		prevHi := -1
+		p.EachRange(func(lo, hi int) error {
+			if lo >= hi {
+				t.Fatalf("%s: empty range [%d,%d)", q, lo, hi)
+			}
+			if lo <= prevHi {
+				t.Fatalf("%s: range [%d,%d) not strictly after previous end %d (unmerged or overlapping)", q, lo, hi, prevHi)
+			}
+			prevHi = hi
+			for i := lo; i < hi; i++ {
+				covered[i] = true
+			}
+			return nil
+		})
+		for i := range covered {
+			if covered[i] != p.Matches(i) {
+				t.Fatalf("%s: index %d covered=%v matches=%v", q, i, covered[i], p.Matches(i))
+			}
+		}
+	}
+}
+
+func TestCompileRejectsBadQueries(t *testing.T) {
+	e := expand(t)
+	for _, tc := range []struct {
+		q    Query
+		want string
+	}{
+		{Query{Family: "nosuch", To: NoLimit}, "no cell of family"},
+		{Query{Strategy: "NOPE", To: NoLimit}, "no strategy labeled"},
+		{Query{Family: "strassen", Strategy: "PS-width", To: NoLimit}, "no strategy labeled"},
+		{Query{From: -1, To: NoLimit}, "negative"},
+		{Query{From: 3, To: 2}, "invalid"},
+		{Query{From: e.NumPoints(), To: NoLimit}, "outside expansion"},
+		{Query{From: e.NumPoints() + 5, To: NoLimit}, "outside expansion"},
+	} {
+		if _, err := Compile(e, tc.q); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Compile(%s): err=%v, want substring %q", tc.q, err, tc.want)
+		}
+	}
+	// From == 0 is always legal, even on an empty range.
+	if _, err := Compile(e, Query{From: 0, To: 0}); err != nil {
+		t.Errorf("Compile([0,0)): %v", err)
+	}
+}
+
+func TestProjectionColumnIsPerCell(t *testing.T) {
+	e := expand(t)
+	p, err := Compile(e, Query{Strategy: "PS-work", To: NoLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PS-work sits at a different column in strassen (no width strategies)
+	// than in fft; the plan must resolve the column per cell.
+	cols := map[string]int{}
+	for _, ci := range p.Cells() {
+		cols[e.Cells[ci].Family.String()] = p.ProjectColumn(ci)
+	}
+	if cols["strassen"] == cols["fft"] {
+		t.Fatalf("PS-work column identical across families (%v); expected per-cell resolution", cols)
+	}
+	for i := 0; i < e.NumPoints(); i++ {
+		if !p.Matches(i) {
+			continue
+		}
+		r := fullResult(e, i)
+		k := p.ProjectColumn(r.Cell)
+		proj, err := p.Project(r)
+		if err != nil {
+			t.Fatalf("Project(%d): %v", i, err)
+		}
+		if len(proj.Unfairness) != 1 || proj.Unfairness[0] != r.Unfairness[k] {
+			t.Fatalf("Project(%d) picked %v, want column %d = %v", i, proj.Unfairness, k, r.Unfairness[k])
+		}
+	}
+}
+
+func TestProjectValidatesColumns(t *testing.T) {
+	e := expand(t)
+	p, err := Compile(e, Query{Strategy: "PS-work", To: NoLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := fullResult(e, 0)
+	if _, err := p.Project(good); err != nil {
+		t.Fatalf("Project(good): %v", err)
+	}
+	// A record missing the projected column must classify, not panic.
+	bad := good
+	bad.Unfairness = bad.Unfairness[:1]
+	if _, err := p.Project(bad); !errors.Is(err, ErrMalformedRecord) {
+		t.Fatalf("Project(short record): err=%v, want ErrMalformedRecord", err)
+	}
+	// Without a projection the record passes through untouched.
+	all, err := Compile(e, Query{To: NoLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := all.Project(good); err != nil || len(out.Unfairness) != len(good.Unfairness) {
+		t.Fatalf("Project without projection = %+v, %v", out, err)
+	}
+}
+
+func TestCompileCachedMemoizes(t *testing.T) {
+	e := expand(t)
+	before := PlanCacheStats()
+	q := Query{Family: "fft", Strategy: "PS-width", From: 1, To: 40}
+	p1, err := CompileCached(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := CompileCached(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("CompileCached returned distinct plans for the same (digest, query)")
+	}
+	after := PlanCacheStats()
+	if after.Hits < before.Hits+1 {
+		t.Errorf("cache hits %d -> %d, want at least one hit", before.Hits, after.Hits)
+	}
+	if after.Misses < before.Misses+1 {
+		t.Errorf("cache misses %d -> %d, want at least one miss", before.Misses, after.Misses)
+	}
+	// A failed compile is not cached and does not poison later lookups.
+	if _, err := CompileCached(e, Query{Family: "nosuch", To: NoLimit}); err == nil {
+		t.Fatal("CompileCached(bad family): want error")
+	}
+}
+
+func TestGroupAggregatorPartialAndOrderInsensitive(t *testing.T) {
+	e := expand(t)
+	p, err := Compile(e, Query{Family: "strassen", Strategy: "PS-work", From: 1, To: e.NumPoints()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int) scenario.PointResult {
+		out, err := p.Project(fullResult(e, i))
+		if err != nil {
+			t.Fatalf("Project(%d): %v", i, err)
+		}
+		return out
+	}
+	var sel []int
+	p.EachRange(func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			sel = append(sel, i)
+		}
+		return nil
+	})
+	fwd := NewGroupAggregator(p)
+	for _, i := range sel {
+		if err := fwd.Add(mk(i)); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	rev := NewGroupAggregator(p)
+	for j := len(sel) - 1; j >= 0; j-- {
+		if err := rev.Add(mk(sel[j])); err != nil {
+			t.Fatalf("Add(%d) reversed: %v", sel[j], err)
+		}
+	}
+	a, b := fwd.Rows(), rev.Rows()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("rows: %d forward, %d reversed", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs by arrival order:\n fwd %+v\n rev %+v", i, a[i], b[i])
+		}
+	}
+	// From=1 cut the first group: its count must be short of a full group.
+	if a[0].Count >= e.GroupSlots() {
+		t.Errorf("first row count %d, want partial group (< %d)", a[0].Count, e.GroupSlots())
+	}
+	// Duplicates, out-of-plan records and short records are rejected.
+	if err := fwd.Add(mk(sel[0])); err == nil {
+		t.Error("duplicate Add: want error")
+	}
+	if err := fwd.Add(mk(sel[len(sel)-1])); err == nil {
+		t.Error("duplicate Add (last point): want error")
+	}
+	outside := fullResult(e, 0) // index 0 is below From=1
+	if err := fwd.Add(outside); err == nil {
+		t.Error("Add outside plan: want error")
+	}
+}

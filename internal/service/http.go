@@ -210,6 +210,9 @@ func parseResultQuery(r *http.Request) (ResultQuery, error) {
 		if q.To, err = strconv.Atoi(v); err != nil {
 			return q, fmt.Errorf("invalid to=%q: %w", v, err)
 		}
+		// An explicit to — including to=0, the empty range — is a real
+		// bound; only an absent parameter means "end of the expansion".
+		q.ToSet = true
 	}
 	return q, nil
 }

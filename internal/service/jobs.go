@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ptgsched/internal/experiment"
+	"ptgsched/internal/query"
 	"ptgsched/internal/scenario"
 )
 
@@ -619,105 +620,95 @@ type ResultQuery struct {
 	// Strategy projects every result down to the single named strategy
 	// column (matching the cell's labels). Empty keeps all columns.
 	Strategy string
-	// From/To keep only points with From ≤ index < To; To = 0 means the
-	// end of the expansion.
+	// From/To keep only points with From ≤ index < To. A zero To means
+	// the end of the expansion UNLESS ToSet is true — a client explicitly
+	// asking for the empty range [x,x) must get nothing, not everything.
 	From, To int
+	// ToSet marks To as explicitly provided. The HTTP layer sets it when
+	// the `to` parameter is present, so `to=0` and an absent `to` stop
+	// conflating. Struct literals that set a positive To without ToSet
+	// keep their historical meaning (an explicit bound).
+	ToSet bool
+}
+
+// plan compiles the query against an expansion, normalizing the
+// unset-vs-zero To distinction into the query package's NoLimit sentinel.
+func (q ResultQuery) plan(e *scenario.Expansion) (*query.Plan, error) {
+	to := q.To
+	if to == 0 && !q.ToSet {
+		to = query.NoLimit
+	}
+	return query.CompileCached(e, query.Query{
+		Family:   q.Family,
+		Strategy: q.Strategy,
+		From:     q.From,
+		To:       to,
+	})
 }
 
 // JobResults streams the job's completed results as JSONL — one
 // scenario.PointResult per line, in global point order — applying the
-// query's filters. Lines are read back from the job's result spool file
-// (nothing is resident server-side); records needing no projection are
-// relayed byte-for-byte, and the strategy projection re-marshals through
-// the same bit-exact wire encoding, so a client can resume aggregation
-// later. It may be called while the job is still running: it streams
-// whatever has completed so far. Safe for concurrent use.
+// query's filters. The query compiles to a memoized plan
+// (internal/query) that resolves the family/strategy/range predicate to
+// the minimal contiguous index ranges, so the walk visits only selected
+// indices instead of every point of the expansion. Lines are read back
+// from the job's result spool file (nothing is resident server-side);
+// records needing no projection are relayed byte-for-byte, and the
+// strategy projection re-marshals through the same bit-exact wire
+// encoding, so a client can resume aggregation later. It may be called
+// while the job is still running: it streams whatever has completed so
+// far. Safe for concurrent use.
 func (s *Service) JobResults(id string, q ResultQuery, w io.Writer) error {
 	h, err := s.jobs.get(id)
 	if err != nil {
 		return err
 	}
-	if q.From < 0 || q.To < 0 || (q.To != 0 && q.To < q.From) {
+	if q.To < 0 {
+		// Reject before plan() could read a negative To as "unbounded".
 		return s.invalid(fmt.Errorf("service: result range [%d,%d) is invalid", q.From, q.To))
 	}
-	if q.Family != "" {
-		found := false
-		for _, c := range h.e.Cells {
-			if c.Family.String() == q.Family {
-				found = true
-				break
+	p, err := q.plan(h.e)
+	if err != nil {
+		// Every compile failure — unknown family or strategy, inverted or
+		// out-of-range bounds (including From ≥ NumPoints) — is a bad
+		// request, not an empty 200 stream.
+		return s.invalid(err)
+	}
+	return p.EachRange(func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if !h.set.Contains(i) {
+				continue // not part of this job's shard
 			}
-		}
-		if !found {
-			return s.invalid(fmt.Errorf("service: no cell of family %q in this campaign", q.Family))
-		}
-	}
-	stratIdx := make([]int, len(h.e.Cells)) // per cell: column of q.Strategy, -1 if absent
-	if q.Strategy != "" {
-		found := false
-		for ci, c := range h.e.Cells {
-			stratIdx[ci] = -1
-			for li, l := range c.Config.Labels {
-				if l == q.Strategy {
-					stratIdx[ci] = li
-					found = true
-					break
-				}
+			line, ok, err := h.readRecord(i)
+			if err != nil {
+				return err
 			}
-		}
-		if !found {
-			return s.invalid(fmt.Errorf("service: no strategy labeled %q in this campaign", q.Strategy))
-		}
-	}
-
-	to := q.To
-	if to == 0 || to > h.e.NumPoints() {
-		to = h.e.NumPoints()
-	}
-	for i := q.From; i < to; i++ {
-		if !h.set.Contains(i) {
-			continue // not part of this job's shard
-		}
-		// The cell (and so family and strategy columns) is arithmetic on
-		// the index — filters apply without parsing the spooled line.
-		ci := h.e.CellOf(i)
-		if q.Family != "" && h.e.Cells[ci].Family.String() != q.Family {
-			continue
-		}
-		k := -1
-		if q.Strategy != "" {
-			if k = stratIdx[ci]; k < 0 {
+			if !ok {
 				continue
 			}
-		}
-		line, ok, err := h.readRecord(i)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			continue
-		}
-		if k >= 0 {
-			var r scenario.PointResult
-			if err := json.Unmarshal(line, &r); err != nil {
+			if p.ProjectColumn(h.e.CellOf(i)) >= 0 {
+				var r scenario.PointResult
+				if err := json.Unmarshal(line, &r); err != nil {
+					return err
+				}
+				// Project validates the record's column count before
+				// slicing: a malformed spool record (torn, foreign, or
+				// short) surfaces as query.ErrMalformedRecord instead of
+				// panicking mid-stream.
+				if r, err = p.Project(r); err != nil {
+					return err
+				}
+				if line, err = json.Marshal(r); err != nil {
+					return err
+				}
+				line = append(line, '\n')
+			}
+			if _, err := w.Write(line); err != nil {
 				return err
 			}
-			r = scenario.PointResult{
-				Index: r.Index, Cell: r.Cell, Name: r.Name,
-				Unfairness: r.Unfairness[k : k+1],
-				Makespan:   r.Makespan[k : k+1],
-				Rel:        r.Rel[k : k+1],
-			}
-			if line, err = json.Marshal(r); err != nil {
-				return err
-			}
-			line = append(line, '\n')
 		}
-		if _, err := w.Write(line); err != nil {
-			return err
-		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // resolveSpecCaps applies the campaign request's structural caps (NPTGs,

@@ -121,6 +121,13 @@ type Store struct {
 	completed int
 
 	failed atomic.Bool // sticky append-failure flag; Sweep drains fast once set
+
+	// readOnly marks a handle from OpenRead: no write fds are held, no
+	// done bitmap was recovered, and mutations return ErrReadOnly.
+	readOnly bool
+	// rebuilt counts segments OpenRead re-indexed by scanning because
+	// their sidecar was unusable (see RebuiltSegments).
+	rebuilt int
 }
 
 // segment is one append-only JSONL file.
@@ -135,6 +142,31 @@ type segment struct {
 	// processes (a shared-filesystem reader can misclassify a foreign
 	// in-flight append as torn; it must not destroy it).
 	truncateAt int64
+
+	// end is the byte offset just past the last valid record — the offset
+	// the next append lands at (the torn tail, if any, is above it and
+	// gone before the write). Maintained under mu.
+	end int64
+	// idx is the segment's sparse byte-run index (see index.go): the
+	// authoritative in-memory form, rebuilt from the segment scan or the
+	// sidecar at open and extended on every append. The sidecar file on
+	// disk may lag behind it (entries flush when runs close); never ahead.
+	idx runIndex
+	// idxFlushed counts idx runs whose entries are durably in the sidecar
+	// file. reconciled flips when this process first rewrites the sidecar
+	// (deferred to the first append, like truncateAt, so opening a shared
+	// store never touches sidecars of segments owned by other processes).
+	idxFlushed int
+	reconciled bool
+	// idxf is the open sidecar file once reconciled. idxDead marks a
+	// sidecar whose write failed: the index is derived data, so a failed
+	// sidecar write degrades (the next open rebuilds by scan) instead of
+	// poisoning the sweep.
+	idxf    *os.File
+	idxDead bool
+	// dirty flips on this process's first append to the segment; only
+	// dirty segments ever have their sidecar reconciled or flushed.
+	dirty bool
 }
 
 // segmentPath names segment i of a store directory.
@@ -164,7 +196,7 @@ func Create(dir string, e *scenario.Expansion, shards int) (*Store, error) {
 		return nil, err
 	}
 	for _, ent := range entries {
-		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".jsonl") {
+		if !ent.IsDir() && (strings.HasSuffix(ent.Name(), ".jsonl") || strings.HasSuffix(ent.Name(), ".idx")) {
 			return nil, fmt.Errorf("store: %s already contains segment %s (empty the directory, or open the store it belongs to)",
 				dir, ent.Name())
 		}
@@ -214,32 +246,15 @@ func Create(dir string, e *scenario.Expansion, shards int) (*Store, error) {
 // spec digest, same cardinality — so stale or foreign directories fail
 // instead of resuming the wrong sweep.
 func Open(dir string, e *scenario.Expansion) (*Store, error) {
-	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	man, err := readManifest(dir, e)
 	if err != nil {
-		return nil, fmt.Errorf("store: %s is not a store: %w", dir, err)
-	}
-	var man Manifest
-	if err := json.Unmarshal(mb, &man); err != nil {
-		return nil, fmt.Errorf("store: %s: invalid manifest: %w", dir, err)
-	}
-	if man.Version != FormatVersion {
-		return nil, fmt.Errorf("store: %s: format version %d, this build reads %d", dir, man.Version, FormatVersion)
-	}
-	if got, want := scenario.SpecDigest(e.Spec), man.SpecDigest; got != want {
-		return nil, fmt.Errorf("store: %s was written by a different campaign spec (digest %.12s, expansion has %.12s)", dir, want, got)
-	}
-	if man.Points != e.NumPoints() {
-		return nil, fmt.Errorf("store: %s records %d points, expansion has %d", dir, man.Points, e.NumPoints())
-	}
-	if man.Shards < 1 || (man.Points > 0 && man.Shards > man.Points) {
-		// The same invariant Create enforces; a corrupt shard count must
-		// not drive openSegments into fabricating files.
-		return nil, fmt.Errorf("store: %s: invalid shard count %d for %d points", dir, man.Shards, man.Points)
+		return nil, err
 	}
 	s := &Store{dir: dir, man: man, e: e, done: bitset.New(e.NumPoints())}
 	trunc := make(map[int]int64)
+	recov := make([]recoveredSegment, man.Shards)
 	for i := 0; i < man.Shards; i++ {
-		if err := s.recoverSegment(i, trunc); err != nil {
+		if err := s.recoverSegment(i, trunc, &recov[i]); err != nil {
 			s.Close()
 			return nil, err
 		}
@@ -248,10 +263,44 @@ func Open(dir string, e *scenario.Expansion) (*Store, error) {
 		s.Close()
 		return nil, err
 	}
+	// idxFlushed stays 0: whatever the on-disk sidecar holds, the first
+	// append reconciles it wholesale from the scan-derived index.
+	for i := range s.segs {
+		s.segs[i].idx = recov[i].idx
+		s.segs[i].end = recov[i].end
+	}
 	for i, off := range trunc {
 		s.segs[i].truncateAt = off
 	}
 	return s, nil
+}
+
+// readManifest reads and validates a store directory's manifest against
+// the expansion — the gate shared by Open and OpenRead.
+func readManifest(dir string, e *scenario.Expansion) (Manifest, error) {
+	var man Manifest
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return man, fmt.Errorf("store: %s is not a store: %w", dir, err)
+	}
+	if err := json.Unmarshal(mb, &man); err != nil {
+		return man, fmt.Errorf("store: %s: invalid manifest: %w", dir, err)
+	}
+	if man.Version != FormatVersion {
+		return man, fmt.Errorf("store: %s: format version %d, this build reads %d", dir, man.Version, FormatVersion)
+	}
+	if got, want := scenario.SpecDigest(e.Spec), man.SpecDigest; got != want {
+		return man, fmt.Errorf("store: %s was written by a different campaign spec (digest %.12s, expansion has %.12s)", dir, want, got)
+	}
+	if man.Points != e.NumPoints() {
+		return man, fmt.Errorf("store: %s records %d points, expansion has %d", dir, man.Points, e.NumPoints())
+	}
+	if man.Shards < 1 || (man.Points > 0 && man.Shards > man.Points) {
+		// The same invariant Create enforces; a corrupt shard count must
+		// not drive openSegments into fabricating files.
+		return man, fmt.Errorf("store: %s: invalid shard count %d for %d points", dir, man.Shards, man.Points)
+	}
+	return man, nil
 }
 
 // openSegments opens every segment file for append — creating any that do
@@ -279,15 +328,17 @@ func (s *Store) openSegments() error {
 }
 
 // scanSegment streams one segment's records through fn in a single
-// buffered pass, without ever holding the segment resident. It applies
-// the crash-recovery classification shared by Open and the re-scan
-// readers: a final line without a newline, or an unparsable final line,
-// is a torn tail — skipped, with the offset of the last good byte
-// returned — while a malformed line before the end is real corruption
-// and fails. A missing segment (a shard that never started) scans as
-// empty. goodEnd is the byte offset just past the last valid record;
-// size is the segment's total length.
-func (s *Store) scanSegment(idx int, fn func(scenario.PointResult) error) (goodEnd, size int64, err error) {
+// buffered pass starting at byte offset from (0 for the whole segment),
+// without ever holding the segment resident. It applies the
+// crash-recovery classification shared by Open and the re-scan readers:
+// a final line without a newline, or an unparsable final line, is a torn
+// tail — skipped, with the offset of the last good byte returned — while
+// a malformed line before the end is real corruption and fails. A
+// missing segment (a shard that never started) scans as empty. fn
+// receives each record with its byte extent [lineStart, lineEnd).
+// goodEnd is the byte offset just past the last valid record; size is
+// the segment's total length. All offsets are absolute.
+func (s *Store) scanSegment(idx int, from int64, fn func(r scenario.PointResult, lineStart, lineEnd int64) error) (goodEnd, size int64, err error) {
 	path := segmentPath(s.dir, idx)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -297,9 +348,14 @@ func (s *Store) scanSegment(idx int, fn func(scenario.PointResult) error) (goodE
 		return 0, 0, err
 	}
 	defer f.Close()
+	if from > 0 {
+		if _, err := f.Seek(from, io.SeekStart); err != nil {
+			return from, from, err
+		}
+	}
 
 	br := bufio.NewReaderSize(f, 256*1024)
-	var off int64
+	off := from
 	for {
 		line, err := br.ReadBytes('\n')
 		size = off + int64(len(line))
@@ -330,29 +386,42 @@ func (s *Store) scanSegment(idx int, fn func(scenario.PointResult) error) (goodE
 		if err := s.validate(r, idx); err != nil {
 			return off, size, fmt.Errorf("store: %s: %w", path, err)
 		}
-		if err := fn(r); err != nil {
+		if err := fn(r, off, size); err != nil {
 			return off, size, err
 		}
 		off = size
 	}
 }
 
+// recoveredSegment carries what one segment's recovery scan derived: its
+// rebuilt sparse index and the offset just past the last valid record.
+type recoveredSegment struct {
+	idx runIndex
+	end int64
+}
+
 // recoverSegment replays one segment's records into the done bitmap —
-// records themselves are not retained. A torn tail is dropped from the
-// recovered state and its offset recorded in trunc; the physical
-// truncation is deferred to the first append (see segment.truncateAt).
-func (s *Store) recoverSegment(idx int, trunc map[int]int64) error {
+// records themselves are not retained — and rebuilds the segment's
+// sparse index from the same pass (the on-disk sidecar is ignored by the
+// writer: the scan is authoritative, and the first append rewrites the
+// sidecar from it, which is also how a stale or torn sidecar heals). A
+// torn tail is dropped from the recovered state and its offset recorded
+// in trunc; the physical truncation is deferred to the first append (see
+// segment.truncateAt).
+func (s *Store) recoverSegment(idx int, trunc map[int]int64, rec *recoveredSegment) error {
 	path := segmentPath(s.dir, idx)
-	good, size, err := s.scanSegment(idx, func(r scenario.PointResult) error {
+	good, size, err := s.scanSegment(idx, 0, func(r scenario.PointResult, lineStart, lineEnd int64) error {
 		if s.done.Set(r.Index) {
 			return fmt.Errorf("store: %s: duplicate result for point %d", path, r.Index)
 		}
 		s.completed++
+		rec.idx.add(r.Index, s.e.CellOf(r.Index), lineStart, lineEnd)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	rec.end = good
 	if good < size {
 		trunc[idx] = good
 	}
@@ -385,6 +454,9 @@ func (s *Store) Dir() string { return s.dir }
 // the store already holds is an error — resume flows skip completed points,
 // so a duplicate means two writers raced on the same shard.
 func (s *Store) Append(r scenario.PointResult) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if s.failed.Load() {
 		return ErrFailed
 	}
@@ -424,6 +496,16 @@ func (s *Store) Append(r scenario.PointResult) error {
 		seg.truncateAt = -1
 	}
 	_, err = seg.f.Write(line)
+	if err == nil {
+		// Extend the sparse index under the same lock that ordered the
+		// write, so run offsets mirror the file exactly; sealed runs
+		// flush to the sidecar here too (best-effort — see flushIndex).
+		seg.dirty = true
+		lineStart := seg.end
+		seg.end += int64(len(line))
+		seg.idx.add(r.Index, r.Cell, lineStart, seg.end)
+		s.flushIndex(r.Index%s.man.Shards, seg)
+	}
 	seg.mu.Unlock()
 	if err != nil {
 		// The record may be half on disk; mark the store failed so Sweep
@@ -486,7 +568,9 @@ func (s *Store) Progress() Progress {
 // Open's recovery classifies it.
 func (s *Store) Each(fn func(scenario.PointResult) error) error {
 	for i := 0; i < s.man.Shards; i++ {
-		if _, _, err := s.scanSegment(i, fn); err != nil {
+		if _, _, err := s.scanSegment(i, 0, func(r scenario.PointResult, _, _ int64) error {
+			return fn(r)
+		}); err != nil {
 			return err
 		}
 	}
@@ -529,6 +613,9 @@ func (s *Store) Aggregate() ([]scenario.Table, error) {
 // done bitmap. Results are bit-identical at every worker count and across
 // any kill/resume split: each point derives everything from its own seed.
 func (s *Store) Sweep(set scenario.IndexSet, workers int) (ran, skipped int, err error) {
+	if s.readOnly {
+		return 0, 0, ErrReadOnly
+	}
 	if s.failed.Load() {
 		return 0, 0, ErrFailed
 	}
@@ -567,14 +654,26 @@ func (s *Store) Sweep(set scenario.IndexSet, workers int) (ran, skipped int, err
 // Sync flushes every segment to stable storage (fsync). Append itself does
 // not fsync — a SIGKILL'd process loses nothing because the page cache
 // survives it — so callers that must survive machine crashes call Sync at
-// checkpoints.
+// checkpoints. The index sidecars flush too: each segment's open run is
+// sealed and written, so a sidecar read after Sync covers everything the
+// segment holds (sealing keeps the sidecar append-only — a flushed entry
+// is never extended in place).
 func (s *Store) Sync() error {
-	for _, seg := range s.segs {
-		if seg == nil {
+	for i, seg := range s.segs {
+		if seg == nil || seg.f == nil {
 			continue
 		}
 		seg.mu.Lock()
 		err := seg.f.Sync()
+		if err == nil && seg.dirty {
+			seg.idx.seal()
+			s.flushIndex(i, seg)
+			if seg.idxf != nil && !seg.idxDead {
+				if serr := seg.idxf.Sync(); serr != nil {
+					seg.idxDead = true
+				}
+			}
+		}
 		seg.mu.Unlock()
 		if err != nil {
 			return err
@@ -583,18 +682,31 @@ func (s *Store) Sync() error {
 	return nil
 }
 
-// Close releases the segment files. The store's data is already on disk;
-// Close only drops the handles.
+// Close releases the segment files, sealing and flushing each segment's
+// index sidecar first. The store's data is already on disk; Close only
+// drops the handles.
 func (s *Store) Close() error {
 	var first error
-	for _, seg := range s.segs {
-		if seg == nil || seg.f == nil {
+	for i, seg := range s.segs {
+		if seg == nil {
 			continue
 		}
-		if err := seg.f.Close(); err != nil && first == nil {
-			first = err
+		seg.mu.Lock()
+		if seg.f != nil {
+			if seg.dirty {
+				seg.idx.seal()
+				s.flushIndex(i, seg)
+			}
+			if err := seg.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			seg.f = nil
 		}
-		seg.f = nil
+		if seg.idxf != nil {
+			seg.idxf.Close()
+			seg.idxf = nil
+		}
+		seg.mu.Unlock()
 	}
 	return first
 }

@@ -1,6 +1,7 @@
 package ptgsched
 
 import (
+	"ptgsched/internal/query"
 	"ptgsched/internal/scenario"
 	"ptgsched/internal/store"
 )
@@ -41,4 +42,55 @@ var (
 	// CampaignSpecDigest is the canonical content digest a store manifest
 	// records (scenario.SpecDigest).
 	CampaignSpecDigest = scenario.SpecDigest
+)
+
+// Query layer: each segment carries a sparse byte-offset index in a
+// sidecar file (segment-NNNN.jsonl.idx, built incrementally at append
+// time and reconstructed by a one-time scan for stores that predate it),
+// and a compiled CampaignQueryPlan resolves a predicate — family,
+// strategy, point-index range — to the minimal set of segment byte runs
+// whose records can match. CampaignStore.Query reads and decodes only
+// those runs; QueryStats reports the bytes and lines that pruning saved.
+// This is the engine behind `ptgbench -query` and the service's
+// GET /v1/jobs/{id}/results filters.
+type (
+	// CampaignQuery is a declarative result predicate. A zero To means
+	// "end of the expansion" only via CampaignQueryNoLimit; To: 0 is the
+	// legal empty range.
+	CampaignQuery = query.Query
+	// CampaignQueryPlan is a compiled, validated predicate bound to one
+	// expansion; build with CompileCampaignQuery.
+	CampaignQueryPlan = query.Plan
+	// CampaignQueryStats accounts one query execution: bytes read and
+	// lines decoded versus the store totals a full scan would touch.
+	CampaignQueryStats = store.QueryStats
+	// CampaignGroupRow is one (cell, #PTGs, strategy) aggregate row of
+	// CampaignStore.AggregateWhere.
+	CampaignGroupRow = query.GroupRow
+	// CampaignQueryCacheStats reports plan-cache hits and misses.
+	CampaignQueryCacheStats = query.CacheStats
+)
+
+// CampaignQueryNoLimit marks a CampaignQuery.To meaning "to the end of
+// the expansion" (any negative value does).
+const CampaignQueryNoLimit = query.NoLimit
+
+// Query entry points.
+var (
+	// OpenCampaignStoreRead opens a store read-only for querying: index
+	// sidecars are loaded (or rebuilt by scanning) but never written, no
+	// write descriptors are held, and Append/Sweep are refused — safe
+	// against a store another process is still sweeping into.
+	OpenCampaignStoreRead = store.OpenRead
+	// CompileCampaignQuery validates a predicate against an expansion and
+	// memoizes the resulting plan (keyed by spec digest and normalized
+	// query), so hot result-serving paths skip recompilation.
+	CompileCampaignQuery = query.CompileCached
+	// CampaignQueryCache reports the process-wide plan cache counters.
+	CampaignQueryCache = query.PlanCacheStats
+	// NewCampaignGroupAggregator reduces a (filtered, projected) result
+	// stream into CampaignGroupRow summaries — the reducer behind
+	// CampaignStore.AggregateWhere, exposed for callers that bring their
+	// own record source.
+	NewCampaignGroupAggregator = query.NewGroupAggregator
 )
