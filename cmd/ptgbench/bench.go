@@ -39,6 +39,13 @@ type BenchResult struct {
 	QueryBytesRead    float64 `json:"query_bytes_read,omitempty"`
 	QueryDecodedLines float64 `json:"query_decoded_lines,omitempty"`
 	QueryBytesTotal   float64 `json:"query_bytes_total,omitempty"`
+	// CacheHitRate and CacheVerifyNsPerPoint carry the CampaignCachedSweep
+	// benchmark's warm-path evidence: the fraction of campaign points
+	// served from the content-addressed cache (1.0 for a healthy cache)
+	// and the segment chain-verification cost at open, amortized per
+	// cached point. Zero for every other benchmark.
+	CacheHitRate          float64 `json:"cache_hit_rate,omitempty"`
+	CacheVerifyNsPerPoint float64 `json:"cache_verify_ns_per_point,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_mapping.json: the frozen seed baseline
@@ -146,6 +153,9 @@ func bench(w io.Writer, jsonPath string) error {
 			QueryBytesRead:    res.Extra["query-bytes-read"],
 			QueryDecodedLines: res.Extra["query-decoded-lines"],
 			QueryBytesTotal:   res.Extra["query-bytes-total"],
+
+			CacheHitRate:          res.Extra["cache-hit-rate"],
+			CacheVerifyNsPerPoint: res.Extra["cache-verify-ns/point"],
 		}
 		report.Current = append(report.Current, cur)
 		speedup, allocRatio := 0.0, 0.0

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"testing"
+
+	"ptgsched/internal/clitest"
+)
+
+func TestGoldenFilesAreHygienic(t *testing.T) {
+	clitest.GoldenHygiene(t)
+}

@@ -106,6 +106,7 @@ func run(argv []string, w io.Writer) error {
 		jsonl        = fs.String("jsonl", "", "campaign: write the shard's JSONL results to this file (default stdout)")
 		merge        = fs.String("merge", "", "campaign: comma-separated shard JSONL files or directories of *.jsonl segments to aggregate instead of running")
 		storeDir     = fs.String("store", "", "campaign: append results to a durable store at this directory (crash-safe; resumable)")
+		cacheDir     = fs.String("cache", "", "campaign: content-addressed result cache directory (created if missing) consulted before computing points and published after; shared safely across processes")
 		resume       = fs.Bool("resume", false, "campaign: open the existing -store and run only its pending points")
 		queryFlag    = fs.Bool("query", false, "campaign: read the -store back through the indexed query path instead of sweeping")
 		qFamily      = fs.String("family", "", "query: only cells of this PTG family (random, fft, strassen)")
@@ -137,8 +138,8 @@ func run(argv []string, w io.Writer) error {
 		if *campaignPath == "" || *storeDir == "" {
 			return fmt.Errorf("-query requires -campaign and -store")
 		}
-		if *shard != "" || *jsonl != "" || *merge != "" || *resume || *coordinate != "" {
-			return fmt.Errorf("-query is exclusive with -shard, -jsonl, -merge, -resume and -coordinate (it only reads the store back)")
+		if *shard != "" || *jsonl != "" || *merge != "" || *resume || *coordinate != "" || *cacheDir != "" {
+			return fmt.Errorf("-query is exclusive with -shard, -jsonl, -merge, -resume, -coordinate and -cache (it only reads the store back)")
 		}
 		return queryMode(w, *campaignPath, *storeDir, queryOpts{
 			family: *qFamily, strategy: *qStrategy, from: *qFrom, to: *qTo,
@@ -155,16 +156,16 @@ func run(argv []string, w io.Writer) error {
 		if *shard != "" || *jsonl != "" || *merge != "" || *storeDir != "" || *resume {
 			return fmt.Errorf("-coordinate is exclusive with -shard, -jsonl, -merge, -store and -resume (the fleet merge is streaming and in-memory)")
 		}
-		return coordinateMode(w, *campaignPath, *coordinate, *fleetShards, *workers, *pollEvery, *stallAfter, *statsAddr)
+		return coordinateMode(w, *campaignPath, *coordinate, *fleetShards, *workers, *pollEvery, *stallAfter, *statsAddr, *cacheDir)
 	}
 	if *fleetShards != 0 || *pollEvery != 0 || *stallAfter != 0 || *statsAddr != "" {
 		return fmt.Errorf("-fleet-shards, -poll, -stall-timeout and -stats-addr require -coordinate")
 	}
 	if *campaignPath != "" {
-		return campaignMode(w, *campaignPath, *shard, *jsonl, *merge, *storeDir, *resume, *workers)
+		return campaignMode(w, *campaignPath, *shard, *jsonl, *merge, *storeDir, *resume, *workers, *cacheDir)
 	}
-	if *shard != "" || *jsonl != "" || *merge != "" || *storeDir != "" || *resume {
-		return fmt.Errorf("-shard, -jsonl, -merge, -store and -resume require -campaign")
+	if *shard != "" || *jsonl != "" || *merge != "" || *storeDir != "" || *resume || *cacheDir != "" {
+		return fmt.Errorf("-shard, -jsonl, -merge, -store, -resume and -cache require -campaign")
 	}
 
 	switch strings.ToLower(*name) {
@@ -234,7 +235,30 @@ func startProgress(snapshot func() string) (stop func()) {
 // completed results feed the incremental aggregator (or the JSONL sink)
 // as they arrive, and nothing proportional to the sweep is materialized
 // except where the user asked for an in-memory shard result file.
-func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir string, resume bool, workers int) error {
+// openCache opens the shared result cache, returning it with a finish
+// function that seals the writer segment and prints the cache counters as
+// one stderr stats line (stdout stays byte-identical with or without a
+// cache — that is the whole point).
+func openCache(dir string) (*ptgsched.CampaignCache, func(), error) {
+	ch, err := ptgsched.OpenCampaignCache(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	finish := func() {
+		if err := ch.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ptgbench: cache %s: %v\n", dir, err)
+		}
+		st := ch.Stats()
+		fmt.Fprintf(os.Stderr, "ptgbench: cache %s: hits=%d misses=%d verify_failures=%d entries=%d\n",
+			dir, st.Hits, st.Misses, st.VerifyFailures, st.Entries)
+		for _, ve := range ch.VerifyErrors() {
+			fmt.Fprintf(os.Stderr, "ptgbench: %s\n", ve.Error())
+		}
+	}
+	return ch, finish, nil
+}
+
+func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir string, resume bool, workers int, cacheDir string) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
@@ -272,11 +296,24 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 		if shard != "" {
 			return fmt.Errorf("-merge and -shard are mutually exclusive")
 		}
+		if cacheDir != "" {
+			return fmt.Errorf("-merge and -cache are mutually exclusive (merging only re-reads results)")
+		}
 		return mergeMode(w, specPath, e, spec, merge, jsonlPath)
 	}
 
+	var memo ptgsched.CampaignMemo
+	if cacheDir != "" {
+		ch, finish, err := openCache(cacheDir)
+		if err != nil {
+			return err
+		}
+		defer finish()
+		memo = ch.Bind(e)
+	}
+
 	if storeDir != "" {
-		return storeMode(w, specPath, e, storeDir, shard, resume, workers)
+		return storeMode(w, specPath, e, storeDir, shard, resume, workers, memo)
 	}
 
 	if shard != "" {
@@ -291,7 +328,7 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 		// A shard's results are the deliverable (the JSONL wire artifact),
 		// so this path materializes them — in point order, bounded by the
 		// user's own shard split.
-		results := e.Run(set, workers)
+		results := e.RunMemo(set, workers, memo)
 		out := w
 		if jsonlPath != "" {
 			f, err := os.Create(jsonlPath)
@@ -330,7 +367,7 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 	stop := startProgress(func() string {
 		return fmt.Sprintf("campaign %s: %d/%d points", name, done.Load(), set.Len())
 	})
-	err = e.RunEach(set, workers, func(r ptgsched.CampaignPointResult) error {
+	err = e.RunEachMemo(set, workers, memo, func(r ptgsched.CampaignPointResult) error {
 		if sink != nil {
 			line, err := json.Marshal(r)
 			if err != nil {
@@ -370,10 +407,18 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 // stdout carries exactly the tables an unsharded local run prints
 // (bit-identically); the fleet narrative (leases, deaths, reassignments)
 // and the final robustness counters go to stderr.
-func coordinateMode(w io.Writer, specPath, workerList string, shards, jobWorkers int, poll, stall time.Duration, statsAddr string) error {
+func coordinateMode(w io.Writer, specPath, workerList string, shards, jobWorkers int, poll, stall time.Duration, statsAddr, cacheDir string) error {
 	data, err := os.ReadFile(specPath)
 	if err != nil {
 		return err
+	}
+	var ch *ptgsched.CampaignCache
+	if cacheDir != "" {
+		var finish func()
+		if ch, finish, err = openCache(cacheDir); err != nil {
+			return err
+		}
+		defer finish()
 	}
 	var workers []string
 	for _, addr := range strings.Split(workerList, ",") {
@@ -386,6 +431,7 @@ func coordinateMode(w io.Writer, specPath, workerList string, shards, jobWorkers
 		JobWorkers:   jobWorkers,
 		PollInterval: poll,
 		StallTimeout: stall,
+		Cache:        ch,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ptgbench: "+format+"\n", args...)
 		},
@@ -414,8 +460,8 @@ func coordinateMode(w io.Writer, specPath, workerList string, shards, jobWorkers
 	stop()
 	cs := c.Counters()
 	fmt.Fprintf(os.Stderr,
-		"ptgbench: fleet done: %d dispatches, %d retries, %d reassignments, %d worker deaths, %d duplicate points skipped\n",
-		cs.Dispatches, cs.Retries, cs.Reassignments, cs.WorkerDeaths, cs.DuplicatePoints)
+		"ptgbench: fleet done: %d dispatches, %d retries, %d reassignments, %d worker deaths, %d duplicate points skipped, %d points seeded from cache\n",
+		cs.Dispatches, cs.Retries, cs.Reassignments, cs.WorkerDeaths, cs.DuplicatePoints, cs.CacheSeededPoints)
 	if err != nil {
 		return err
 	}
@@ -533,7 +579,7 @@ func mergeInputs(merge, specDigest string) ([]string, error) {
 // tables. A killed run is continued by the same invocation plus -resume.
 // During the sweep, per-shard progress (read straight off the store's
 // done bitmap) is reported to stderr every few seconds.
-func storeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, dir, shard string, resume bool, workers int) error {
+func storeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, dir, shard string, resume bool, workers int, memo ptgsched.CampaignMemo) error {
 	shards := 1
 	set := e.All()
 	if shard != "" {
@@ -569,6 +615,18 @@ func storeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, dir,
 			dir, manShards, manShards, dir)
 	}
 
+	if memo != nil {
+		st.UseMemo(memo)
+		if resume {
+			// A resumed store is a cache source: export what earlier runs
+			// already proved, so other campaigns sharing the cache skip it.
+			if n, err := st.PublishTo(memo); err != nil {
+				return err
+			} else if n > 0 {
+				fmt.Fprintf(os.Stderr, "ptgbench: published %d completed store points to the cache\n", n)
+			}
+		}
+	}
 	stop := startProgress(func() string {
 		pr := st.Progress()
 		b := fmt.Sprintf("store %s: %d/%d points", dir, pr.Completed, pr.Total)

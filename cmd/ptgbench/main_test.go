@@ -351,3 +351,73 @@ func TestEmptyEventTimelineReproducesStaticCampaigns(t *testing.T) {
 		}
 	}
 }
+
+func TestCampaignCacheOutputIsByteIdentical(t *testing.T) {
+	// The cache must be invisible on the wire: stdout of a cold cached
+	// run, a warm cached run, and an uncached run are byte-identical.
+	uncached := runCLI(t, "-campaign", "testdata/smoke-campaign.json")
+	dir := filepath.Join(t.TempDir(), "cache")
+	cold := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-cache", dir)
+	warm := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-cache", dir)
+	if !bytes.Equal(uncached, cold) {
+		t.Errorf("cold cached output differs from uncached run\n--- uncached ---\n%s\n--- cold ---\n%s", uncached, cold)
+	}
+	if !bytes.Equal(uncached, warm) {
+		t.Errorf("warm cached output differs from uncached run\n--- uncached ---\n%s\n--- warm ---\n%s", uncached, warm)
+	}
+}
+
+func TestCampaignCachePoisonedEntryFallsBack(t *testing.T) {
+	// Corrupt one cached record on disk; the re-run must detect it and
+	// recompute, printing byte-identical output.
+	uncached := runCLI(t, "-campaign", "testdata/smoke-campaign.json")
+	dir := filepath.Join(t.TempDir(), "cache")
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-cache", dir)
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v (err %v), want exactly 1", segs, err)
+	}
+	b, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit inside the second record's makespan payload.
+	lines := bytes.Split(b, []byte("\n"))
+	i := bytes.Index(lines[2], []byte(`"makespan":[`))
+	if i < 0 {
+		t.Fatalf("no makespan field in record: %s", lines[2])
+	}
+	poison := append([]byte(nil), lines[2]...)
+	for j := i; j < len(poison); j++ {
+		if poison[j] >= '1' && poison[j] <= '8' {
+			poison[j]++
+			break
+		}
+	}
+	lines[2] = poison
+	if err := os.WriteFile(segs[0], bytes.Join(lines, []byte("\n")), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	again := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-cache", dir)
+	if !bytes.Equal(uncached, again) {
+		t.Errorf("output after cache poisoning differs from uncached run\n--- uncached ---\n%s\n--- poisoned ---\n%s", uncached, again)
+	}
+}
+
+func TestCampaignCacheSharedAcrossShards(t *testing.T) {
+	// Shards sharing one cache dir: running all shards cold, then the
+	// unsharded campaign warm, must print the unsharded golden bytes.
+	dir := filepath.Join(t.TempDir(), "cache")
+	s0 := filepath.Join(t.TempDir(), "s0.jsonl")
+	s1 := filepath.Join(t.TempDir(), "s1.jsonl")
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "0/2", "-jsonl", s0, "-cache", dir)
+	runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-shard", "1/2", "-jsonl", s1, "-cache", dir)
+
+	uncached := runCLI(t, "-campaign", "testdata/smoke-campaign.json")
+	warm := runCLI(t, "-campaign", "testdata/smoke-campaign.json", "-cache", dir)
+	if !bytes.Equal(uncached, warm) {
+		t.Errorf("warm-from-shards output differs\n--- uncached ---\n%s\n--- warm ---\n%s", uncached, warm)
+	}
+}

@@ -81,6 +81,7 @@ func run(argv []string, w io.Writer, sigCh <-chan os.Signal) error {
 		maxExpand = fs.Int("max-campaign-expansion", 0, "total expansion a campaign request may address (default: 2^24)")
 		maxJob    = fs.Int("max-job-points", 0, "points one async job may execute (default: 2^20)")
 		maxBack   = fs.Int("max-job-backlog", 0, "total points across live jobs (default: 2^21)")
+		cacheDir  = fs.String("cache", "", "content-addressed result cache directory (created if missing); campaign and job points are served from verified cache entries and published back — point a fleet's workers at one shared directory")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(argv); err != nil {
@@ -90,11 +91,31 @@ func run(argv []string, w io.Writer, sigCh <-chan os.Signal) error {
 		return err
 	}
 
+	var ch *ptgsched.CampaignCache
+	if *cacheDir != "" {
+		var err error
+		if ch, err = ptgsched.OpenCampaignCache(*cacheDir); err != nil {
+			return err
+		}
+		st := ch.Stats()
+		fmt.Fprintf(w, "ptgserve: cache %s: %d entries, %d verify failures\n",
+			*cacheDir, st.Entries, st.VerifyFailures)
+		defer func() {
+			if err := ch.Close(); err != nil {
+				fmt.Fprintf(w, "ptgserve: cache %s: %v\n", *cacheDir, err)
+			}
+			st := ch.Stats()
+			fmt.Fprintf(w, "ptgserve: cache %s: hits=%d misses=%d verify_failures=%d entries=%d\n",
+				*cacheDir, st.Hits, st.Misses, st.VerifyFailures, st.Entries)
+		}()
+	}
+
 	svc := ptgsched.NewService(ptgsched.ServiceOptions{
 		Name:           *name,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
+		Cache:          ch,
 		Limits: ptgsched.ServiceLimits{
 			CampaignPoints:    *maxPoints,
 			CampaignExpansion: *maxExpand,

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ptgsched/internal/alloc"
+	"ptgsched/internal/cache"
 	"ptgsched/internal/coord"
 	"ptgsched/internal/dag"
 	"ptgsched/internal/daggen"
@@ -62,6 +63,7 @@ func Suite() []Case {
 		{"FleetCoordinate3Workers", FleetCoordinate},
 		{"StoreQueryPushdown", func(b *testing.B) { StoreQuery(b, false) }},
 		{"StoreQueryFullScan", func(b *testing.B) { StoreQuery(b, true) }},
+		{"CampaignCachedSweep", CampaignCachedSweep},
 	}
 }
 
@@ -508,4 +510,71 @@ func FairShare1000Flows(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.FairShareRates(flows)
 	}
+}
+
+// CampaignCachedSweep measures the content-addressed cache on its warm
+// path: a Fig. 3-shaped strassen campaign is swept once cold to populate
+// a cache directory, then each iteration reopens the directory (verifying
+// every segment's hash chain from scratch) and sweeps the whole campaign
+// through it. Two custom metrics land in BENCH_mapping.json:
+// "cache-hit-rate" (fraction of points served from the cache — 1.0 when
+// the cache is healthy) and "cache-verify-ns/point" (chain verification
+// cost at open, amortized per cached point).
+func CampaignCachedSweep(b *testing.B) {
+	b.Helper()
+	spec, err := scenario.ParseSpec([]byte(`{
+		"name": "cached-sweep",
+		"seed": 42,
+		"reps": 5,
+		"nptgs": [2, 6, 10],
+		"platforms": ["rennes"],
+		"families": [{"family": "strassen"}]
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := scenario.Expand(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	c, err := cache.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.RunMemo(e.All(), 0, c.Bind(e))
+	if err := c.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	var verifyNS int64
+	var hits, misses uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		cw, err := cache.Open(dir) // full chain verification of every segment
+		if err != nil {
+			b.Fatal(err)
+		}
+		verifyNS += time.Since(start).Nanoseconds()
+		res := e.RunMemo(e.All(), 0, cw.Bind(e))
+		if len(res) != e.NumPoints() {
+			b.Fatal("cached sweep lost points")
+		}
+		st := cw.Stats()
+		if st.VerifyFailures != 0 {
+			b.Fatalf("pristine cache reported %d verify failures", st.VerifyFailures)
+		}
+		hits += st.Hits
+		misses += st.Misses
+	}
+	b.StopTimer()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "cache-hit-rate")
+	}
+	b.ReportMetric(float64(verifyNS)/float64(int64(b.N)*int64(e.NumPoints())), "cache-verify-ns/point")
 }

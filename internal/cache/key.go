@@ -1,0 +1,139 @@
+// Package cache is a content-addressed, tamper-evident result cache for
+// campaign points. Every scenario point is a deterministic function of
+// (spec digest, global index); the cache names each point by a SHA-256
+// digest of the point's fully resolved identity — itself a pure function
+// of those two coordinates — and stores its measurement in append-only
+// hash-chained segments, so a shared cache directory is *verified rather
+// than trusted*: bit-rot, truncation, reordering, splicing or foreign
+// entries are detected on read and the affected points transparently fall
+// back to recomputation.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ptgsched/internal/scenario"
+)
+
+// KeyVersion is baked into every per-point digest. Bump it whenever the
+// meaning of a measurement changes (engine semantics, simulator
+// constants), so stale caches miss instead of serving results computed
+// under different physics.
+const KeyVersion = 1
+
+// Key is a per-point content address: SHA-256 over the point's canonical
+// identity (see KeyFor).
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex, the wire form used in cache
+// segment records.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// The identity record is the canonical JSON the key hashes. It pins
+// everything a point's measurement depends on and nothing it doesn't:
+//
+//   - static (offline and online-arrivals) cells resolve to the cell's
+//     semantics — family grid point (the label prints every grid
+//     parameter), strategies with their µ, resolved platform, NPTGs
+//     value, repetition, derived run seed, arrival process — so two
+//     *different* campaigns whose expansions share a cell region produce
+//     identical keys for the shared points and memoize across specs;
+//   - dynamic cells (non-empty events axis) additionally pin the campaign
+//     spec digest and the global point index, because the event timeline
+//     is drawn from exactly that pair (Expansion.TimelineFor); their
+//     entries are therefore campaign-private by construction.
+//
+// Coordinates that only relocate a point without changing its physics —
+// shard layout, worker count, cell index, NPTGs *index* (the run seed
+// already encodes it) — are deliberately absent: the key is invariant
+// under every execution layout, which the key-determinism property suite
+// asserts.
+type identity struct {
+	V          int                `json:"v"`
+	Cell       string             `json:"cell"`
+	Family     string             `json:"family"`
+	Strategies []strategyIdentity `json:"strategies"`
+	Platform   platformIdentity   `json:"platform"`
+	NPTGs      int                `json:"nptgs"`
+	Rep        int                `json:"rep"`
+	Seed       int64              `json:"seed"`
+	Online     *onlineIdentity    `json:"online,omitempty"`
+	Policy     string             `json:"policy"`
+	Campaign   string             `json:"campaign"`
+	Index      int                `json:"index"`
+}
+
+type strategyIdentity struct {
+	Name string  `json:"name"`
+	Mu   float64 `json:"mu"`
+}
+
+type clusterIdentity struct {
+	Name  string  `json:"name"`
+	Procs int     `json:"procs"`
+	Speed float64 `json:"speed"`
+}
+
+type platformIdentity struct {
+	Name         string            `json:"name"`
+	SharedSwitch bool              `json:"shared_switch"`
+	Clusters     []clusterIdentity `json:"clusters"`
+}
+
+type onlineIdentity struct {
+	Process string  `json:"process"`
+	Rate    float64 `json:"rate"`
+}
+
+// KeyFor derives point p's content address under expansion e. specDigest
+// must be scenario.SpecDigest(e.Spec); it is passed in so per-sweep
+// callers (Bound) hash the spec once, not once per point. The result is a
+// pure function of (spec digest, global index): the identity record is
+// fully determined by the expansion arithmetic, which those two
+// coordinates pin.
+func KeyFor(e *scenario.Expansion, specDigest string, p scenario.Point) Key {
+	c := e.Cells[p.Cell]
+	pf := e.Platforms[p.Platform]
+	id := identity{
+		V:          KeyVersion,
+		Cell:       c.Label,
+		Family:     c.Family.String(),
+		Strategies: make([]strategyIdentity, len(c.Config.Strategies)),
+		Platform: platformIdentity{
+			Name:         pf.Name,
+			SharedSwitch: pf.SharedSwitch,
+			Clusters:     make([]clusterIdentity, len(pf.Clusters)),
+		},
+		NPTGs: p.NPTGs,
+		Rep:   p.Rep,
+		Seed:  p.Seed,
+		// Static cells leave the campaign coordinates neutral so equal
+		// points of different specs collide (that is the cross-campaign
+		// memoization); dynamic cells overwrite them below.
+		Index: -1,
+	}
+	for i, s := range c.Config.Strategies {
+		id.Strategies[i] = strategyIdentity{Name: s.Name(), Mu: s.Mu}
+	}
+	for i, cl := range pf.Clusters {
+		id.Platform.Clusters[i] = clusterIdentity{Name: cl.Name, Procs: cl.Procs, Speed: cl.Speed}
+	}
+	if c.Online != nil {
+		id.Online = &onlineIdentity{Process: c.Online.Process.String(), Rate: c.Online.Rate}
+	}
+	if c.Policy != "" {
+		id.Policy = c.Policy
+		id.Campaign = specDigest
+		id.Index = p.Index
+	}
+	b, err := json.Marshal(id)
+	if err != nil {
+		// The identity record is plain data; a marshal failure is an
+		// engine bug, not an input condition.
+		panic(fmt.Sprintf("cache: marshal point identity: %v", err))
+	}
+	return Key(sha256.Sum256(b))
+}

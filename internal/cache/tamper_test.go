@@ -1,0 +1,371 @@
+package cache
+
+// Satellite: adversarial tamper-injection battery. Every corruption class
+// — bit-flip, truncation, entry reorder, chain splice, cross-spec
+// transplant, garbled bytes — must be (a) detected at scan time with the
+// correct diagnosis class, (b) counted exactly once per poisoned entry
+// where the poison is per-entry, and (c) invisible in the final output:
+// the sweep falls back to recomputation and produces tables byte-identical
+// to an uncached run. A silent acceptance anywhere here is a correctness
+// bug, not a performance bug.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ptgsched/internal/scenario"
+)
+
+// buildSealed fills a fresh cache dir from smokeSpec and seals it,
+// returning the expansion, the reference results, and the dir.
+func buildSealed(t *testing.T) (*scenario.Expansion, []scenario.PointResult, string) {
+	t.Helper()
+	e := expand(t, smokeSpec)
+	dir := t.TempDir()
+	c := open(t, dir)
+	want := fill(t, c, e, 1)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return e, want, dir
+}
+
+// readLines splits a segment file into its lines (header first).
+func readLines(t *testing.T, path string) []string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimSuffix(string(b), "\n"), "\n")
+}
+
+func writeLines(t *testing.T, path string, lines []string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipPayload alters the measured data of record r (0-based, ignoring the
+// header) in place, keeping the stale sum/proof — the bit-rot/poisoning
+// shape.
+func flipPayload(t *testing.T, seg string, r int) {
+	t.Helper()
+	lines := readLines(t, seg)
+	var rec record
+	if err := json.Unmarshal([]byte(lines[r+1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Makespan) == 0 {
+		t.Fatal("record has no makespan samples to poison")
+	}
+	rec.Makespan[0] += 1 // a poisoned measurement
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines[r+1] = string(b)
+	writeLines(t, seg, lines)
+}
+
+// classesOf collects the distinct classes seen, and fails the test if any
+// class outside allowed appears.
+func assertClasses(t *testing.T, c *Cache, allowed ...Class) {
+	t.Helper()
+	ok := make(map[Class]bool)
+	for _, cl := range allowed {
+		ok[cl] = true
+	}
+	for _, ve := range c.VerifyErrors() {
+		if !ok[ve.Class] {
+			t.Fatalf("unexpected corruption class %s: %v", ve.Class, ve.Error())
+		}
+	}
+}
+
+// assertFallback runs the full sweep against the (corrupted) cache and
+// checks the output is byte-identical to the uncached reference: same
+// point results, same aggregated tables down to the marshaled bytes.
+func assertFallback(t *testing.T, c *Cache, e *scenario.Expansion, want []scenario.PointResult) {
+	t.Helper()
+	got := fill(t, c, e, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fallback sweep differs from uncached run")
+	}
+	wt, err := e.Aggregate(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := e.Aggregate(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := json.Marshal(wt)
+	gb, _ := json.Marshal(gt)
+	if !bytes.Equal(wb, gb) {
+		t.Fatal("aggregated tables not byte-identical after fallback")
+	}
+}
+
+func TestTamperBitFlipSingleRecord(t *testing.T) {
+	e, want, dir := buildSealed(t)
+	flipPayload(t, oneSegment(t, dir), 3)
+
+	c := open(t, dir)
+	st := c.Stats()
+	if st.VerifyFailures != 1 {
+		t.Fatalf("one poisoned record, %d verify failures (want exactly 1)", st.VerifyFailures)
+	}
+	assertClasses(t, c, ClassSum)
+	if ve := c.VerifyErrors(); len(ve) != 1 || ve[0].Record != 3 {
+		t.Fatalf("diagnosis %+v, want record 3", ve)
+	}
+	// Exactly the poisoned entry is lost; its neighbors still verify,
+	// because the chain resumes from the recorded proof.
+	if st.Entries != e.NumPoints()-1 {
+		t.Fatalf("entries=%d, want %d (only the poisoned one dropped)", st.Entries, e.NumPoints()-1)
+	}
+	assertFallback(t, c, e, want)
+	st = c.Stats()
+	if st.Misses != 1 || st.Hits != uint64(e.NumPoints()-1) {
+		t.Fatalf("fallback: hits=%d misses=%d, want %d/1", st.Hits, st.Misses, e.NumPoints()-1)
+	}
+}
+
+func TestTamperBitFlipCountsOncePerEntry(t *testing.T) {
+	e, want, dir := buildSealed(t)
+	seg := oneSegment(t, dir)
+	for _, r := range []int{1, 4, 6} {
+		flipPayload(t, seg, r)
+	}
+	c := open(t, dir)
+	if st := c.Stats(); st.VerifyFailures != 3 {
+		t.Fatalf("three poisoned records, %d verify failures (want exactly 3)", st.VerifyFailures)
+	}
+	assertClasses(t, c, ClassSum)
+	if st := c.Stats(); st.Entries != e.NumPoints()-3 {
+		t.Fatalf("entries=%d, want %d", st.Entries, e.NumPoints()-3)
+	}
+	assertFallback(t, c, e, want)
+}
+
+func TestTamperPoisonedValueNeverServed(t *testing.T) {
+	// The poisoned record carries a wrong makespan; assert the sweep's
+	// value for that point is the recomputed (correct) one, not the
+	// poison.
+	e, want, dir := buildSealed(t)
+	flipPayload(t, oneSegment(t, dir), 0)
+	c := open(t, dir)
+	got := fill(t, c, e, 1)
+	if got[0].Makespan[0] != want[0].Makespan[0] {
+		t.Fatalf("poisoned makespan served: got %v want %v", got[0].Makespan[0], want[0].Makespan[0])
+	}
+}
+
+func TestTamperTruncation(t *testing.T) {
+	e, want, dir := buildSealed(t)
+	seg := oneSegment(t, dir)
+	lines := readLines(t, seg)
+	writeLines(t, seg, lines[:len(lines)-2]) // drop the last two records
+
+	c := open(t, dir)
+	st := c.Stats()
+	if st.VerifyFailures != 1 {
+		t.Fatalf("truncation: %d failures, want 1", st.VerifyFailures)
+	}
+	assertClasses(t, c, ClassTruncated)
+	// A sealed segment that lost committed records is dead: nothing from
+	// it is trusted.
+	if st.Entries != 0 {
+		t.Fatalf("truncated sealed segment still served %d entries", st.Entries)
+	}
+	assertFallback(t, c, e, want)
+}
+
+func TestTamperReorder(t *testing.T) {
+	e, want, dir := buildSealed(t)
+	seg := oneSegment(t, dir)
+	lines := readLines(t, seg)
+	// Swap records 1 and 2 (file lines 2 and 3, after the header).
+	lines[2], lines[3] = lines[3], lines[2]
+	writeLines(t, seg, lines)
+
+	c := open(t, dir)
+	st := c.Stats()
+	// An adjacent swap breaks the chain at the two displaced records and
+	// their immediate successor: exactly three link mismatches.
+	if st.VerifyFailures != 3 {
+		t.Fatalf("reorder: %d failures, want 3", st.VerifyFailures)
+	}
+	assertClasses(t, c, ClassChain)
+	if st.Entries != e.NumPoints()-3 {
+		t.Fatalf("reorder: entries=%d, want %d", st.Entries, e.NumPoints()-3)
+	}
+	assertFallback(t, c, e, want)
+}
+
+func TestTamperChainSplice(t *testing.T) {
+	// Build a second cache for the same spec (different cache identity,
+	// hence a different genesis and chain), and splice one of its record
+	// lines over the last record of an UNSEALED segment in the first
+	// cache. The spliced record parses and its sum verifies — only the
+	// chain exposes it.
+	e := expand(t, smokeSpec)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a := open(t, dirA)
+	want := fill(t, a, e, 1)
+	// Abandon a unsealed so the splice is the only detectable defect.
+	b := open(t, dirB)
+	fill(t, b, e, 1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segA, segB := oneSegment(t, dirA), oneSegment(t, dirB)
+	la, lb := readLines(t, segA), readLines(t, segB)
+	la[len(la)-1] = lb[len(lb)-1]
+	writeLines(t, segA, la)
+
+	c := open(t, dirA)
+	st := c.Stats()
+	if st.VerifyFailures != 1 {
+		t.Fatalf("splice: %d failures, want exactly 1", st.VerifyFailures)
+	}
+	assertClasses(t, c, ClassChain)
+	assertFallback(t, c, e, want)
+}
+
+func TestTamperCrossSpecTransplant(t *testing.T) {
+	// A whole segment lifted from another cache directory (a different
+	// campaign's cache) is rejected at the header: it is bound to the
+	// other cache's identity.
+	e, want, dir := buildSealed(t)
+
+	other := expand(t, strings.Replace(smokeSpec, `"seed": 9`, `"seed": 77`, 1))
+	dirB := t.TempDir()
+	b := open(t, dirB)
+	fill(t, b, other, 1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(oneSegment(t, dirB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite our good segment wholesale with the foreign one: its
+	// header is bound to dirB's cache identity, which trips first.
+	if err := os.WriteFile(oneSegment(t, dir), raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	c := open(t, dir)
+	st := c.Stats()
+	if st.VerifyFailures != 1 {
+		t.Fatalf("transplant: %d failures, want 1", st.VerifyFailures)
+	}
+	assertClasses(t, c, ClassForeign)
+	if st.Entries != 0 {
+		t.Fatalf("transplanted segment served %d entries", st.Entries)
+	}
+	assertFallback(t, c, e, want)
+}
+
+func TestTamperRenamedSegment(t *testing.T) {
+	// Renaming a segment within its own cache also breaks the header
+	// binding: proofs are seeded from the segment name, so a rename is a
+	// transplant in miniature.
+	e, want, dir := buildSealed(t)
+	seg := oneSegment(t, dir)
+	renamed := strings.Replace(seg, segPrefix, segPrefix+"feed", 1)
+	if err := os.Rename(seg, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(seg + headSuffix); err != nil {
+		t.Fatal(err)
+	}
+
+	c := open(t, dir)
+	if st := c.Stats(); st.VerifyFailures != 1 {
+		t.Fatalf("rename: %d failures, want 1", st.VerifyFailures)
+	}
+	assertClasses(t, c, ClassForeign)
+	assertFallback(t, c, e, want)
+}
+
+func TestTamperGarbledRecord(t *testing.T) {
+	// Unparsable bytes mid-segment: the damaged record and everything
+	// after it are unreadable (the chain cannot resume past an unknown
+	// proof), but everything before it still serves.
+	e, want, dir := buildSealed(t)
+	seg := oneSegment(t, dir)
+	lines := readLines(t, seg)
+	lines[3] = strings.Repeat("x", len(lines[3])) // record 2
+	writeLines(t, seg, lines)
+	if err := os.Remove(seg + headSuffix); err != nil { // keep it a pure parse failure
+		t.Fatal(err)
+	}
+
+	c := open(t, dir)
+	st := c.Stats()
+	if st.VerifyFailures != 1 {
+		t.Fatalf("garbled record: %d failures, want 1", st.VerifyFailures)
+	}
+	assertClasses(t, c, ClassCorrupt)
+	if st.Entries != 2 {
+		t.Fatalf("entries=%d, want 2 (records before the damage)", st.Entries)
+	}
+	assertFallback(t, c, e, want)
+}
+
+func TestTamperSealProofRewrite(t *testing.T) {
+	// Rewriting history *consistently* (re-chaining every proof from the
+	// altered record onward) defeats per-record checks — that is exactly
+	// what the seal exists for: the sealed head proof no longer matches.
+	e, want, dir := buildSealed(t)
+	seg := oneSegment(t, dir)
+	lines := readLines(t, seg)
+
+	// Re-chain the whole segment with record 3's payload poisoned.
+	var hdr header
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	proof := genesis(hdr.Cache, hdr.Segment)
+	for i := 1; i < len(lines); i++ {
+		var rec record
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatal(err)
+		}
+		rec.Sum, rec.Proof = "", ""
+		if i == 4 {
+			rec.Makespan[0] += 1
+		}
+		body, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(body)
+		proof = chain(proof, sum[:])
+		rec.Sum, rec.Proof = hex.EncodeToString(sum[:]), hex.EncodeToString(proof[:])
+		out, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines[i] = string(out)
+	}
+	writeLines(t, seg, lines)
+
+	c := open(t, dir)
+	st := c.Stats()
+	if st.VerifyFailures == 0 {
+		t.Fatal("a fully re-chained rewrite behind a seal was accepted silently")
+	}
+	assertClasses(t, c, ClassChain)
+	assertFallback(t, c, e, want)
+}

@@ -7,7 +7,9 @@ package clitest
 
 import (
 	"bytes"
+	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -30,7 +32,10 @@ func Run(t *testing.T, run func(args []string, stdout io.Writer) error, args ...
 }
 
 // CheckGolden compares got against testdata/<name>, rewriting the file
-// first under -update.
+// first under -update. The golden file itself must pass Hygiene — a
+// CRLF'd, NUL-bearing or trailing-newline-mangled golden would otherwise
+// masquerade as a real output diff (or, worse, mask one after a careless
+// editor pass).
 func CheckGolden(t *testing.T, name string, got []byte) {
 	t.Helper()
 	path := filepath.Join("testdata", name)
@@ -43,8 +48,58 @@ func CheckGolden(t *testing.T, name string, got []byte) {
 	if err != nil {
 		t.Fatalf("%v (run with -update to create)", err)
 	}
+	if err := Hygiene(want); err != nil {
+		t.Errorf("golden file %s is unhygienic: %v (re-run with -update)", path, err)
+	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("output drifted from %s (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
 			path, got, want)
+	}
+}
+
+// Hygiene validates golden-file bytes: printable line-oriented text with
+// LF line endings and exactly one trailing newline. This is what keeps a
+// byte-exact comparison honest — every golden in the repo is plain text,
+// so any carriage return, NUL byte or missing/doubled final newline is an
+// editing or transfer accident, never an intended output change.
+func Hygiene(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty golden file")
+	}
+	if i := bytes.IndexByte(b, '\r'); i >= 0 {
+		return fmt.Errorf("carriage return at byte %d (CRLF line endings)", i)
+	}
+	if i := bytes.IndexByte(b, 0); i >= 0 {
+		return fmt.Errorf("NUL byte at offset %d", i)
+	}
+	if b[len(b)-1] != '\n' {
+		return errors.New("missing trailing newline")
+	}
+	if len(b) > 1 && b[len(b)-2] == '\n' {
+		return errors.New("trailing blank line (doubled final newline)")
+	}
+	return nil
+}
+
+// GoldenHygiene asserts Hygiene for every testdata/*.golden file of the
+// calling package. Golden-producing acceptance tests are often skipped
+// under -short; this check is cheap enough to always run, so a mangled
+// golden is caught by the tier-1 lane and not first by a nightly
+// acceptance run.
+func GoldenHygiene(t *testing.T) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join("testdata", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := Hygiene(b); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
 	}
 }

@@ -1,0 +1,35 @@
+package clitest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHygiene(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error, "" for clean
+	}{
+		{"clean single line", "hello\n", ""},
+		{"clean multi line", "a\nb\nc\n", ""},
+		{"empty", "", "empty"},
+		{"crlf", "a\r\nb\n", "carriage return"},
+		{"lone cr", "a\rb\n", "carriage return"},
+		{"nul byte", "a\x00b\n", "NUL"},
+		{"no trailing newline", "a\nb", "missing trailing newline"},
+		{"doubled trailing newline", "a\n\n", "trailing blank line"},
+		{"bare newline", "\n", ""},
+	}
+	for _, tc := range cases {
+		err := Hygiene([]byte(tc.in))
+		switch {
+		case tc.want == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.want != "" && err == nil:
+			t.Errorf("%s: accepted, want error containing %q", tc.name, tc.want)
+		case tc.want != "" && !strings.Contains(err.Error(), tc.want):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

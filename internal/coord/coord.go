@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ptgsched/internal/cache"
 	"ptgsched/internal/scenario"
 	"ptgsched/internal/service"
 )
@@ -44,6 +45,15 @@ type Options struct {
 	// Logf, when set, receives progress and failure-handling notes
 	// (dispatches, deaths, reassignments). Nil is silent.
 	Logf func(format string, args ...any)
+	// Cache, when set, is the fleet's shared content-addressed cache:
+	// before any lease is dispatched the coordinator absorbs every
+	// verified cache entry straight into the aggregation — a fully
+	// cached shard is retired without touching a worker — and every
+	// result merged back from the fleet is published into the cache.
+	// Workers pointed at the same directory (ptgserve -cache) further
+	// skip each other's points inside their own sweeps, so a reassigned
+	// shard only recomputes what its dead owner never published.
+	Cache *cache.Cache
 }
 
 func (o Options) withDefaults(workers, points int) Options {
@@ -69,6 +79,7 @@ func (o Options) withDefaults(workers, points int) Options {
 // are atomic; snapshot with Snapshot.
 type Counters struct {
 	dispatches    atomic.Int64
+	cacheSeeded   atomic.Int64
 	retries       atomic.Int64
 	reassignments atomic.Int64
 	workerDeaths  atomic.Int64
@@ -95,17 +106,21 @@ type CountersSnapshot struct {
 	DuplicatePoints int64 `json:"duplicate_points"`
 	// MergedPoints counts unique results absorbed into the aggregation.
 	MergedPoints int64 `json:"merged_points"`
+	// CacheSeededPoints counts points absorbed from the shared cache
+	// before dispatch — work the fleet never had to do.
+	CacheSeededPoints int64 `json:"cache_seeded_points"`
 }
 
 // Snapshot reads the counters.
 func (c *Counters) Snapshot() CountersSnapshot {
 	return CountersSnapshot{
-		Dispatches:      c.dispatches.Load(),
-		Retries:         c.retries.Load(),
-		Reassignments:   c.reassignments.Load(),
-		WorkerDeaths:    c.workerDeaths.Load(),
-		DuplicatePoints: c.duplicates.Load(),
-		MergedPoints:    c.merged.Load(),
+		Dispatches:        c.dispatches.Load(),
+		Retries:           c.retries.Load(),
+		Reassignments:     c.reassignments.Load(),
+		WorkerDeaths:      c.workerDeaths.Load(),
+		DuplicatePoints:   c.duplicates.Load(),
+		MergedPoints:      c.merged.Load(),
+		CacheSeededPoints: c.cacheSeeded.Load(),
 	}
 }
 
@@ -148,6 +163,7 @@ type Coordinator struct {
 	workers  []*worker
 	leases   []*lease
 	counters Counters
+	memo     scenario.Memo
 
 	agg *scenario.Aggregator
 
@@ -179,6 +195,9 @@ func New(specJSON []byte, workers []string, opts Options) (*Coordinator, error) 
 	}
 	opts = opts.withDefaults(len(workers), e.NumPoints())
 	c := &Coordinator{e: e, specJSON: specJSON, opts: opts}
+	if opts.Cache != nil {
+		c.memo = opts.Cache.Bind(e)
+	}
 	for i, addr := range workers {
 		co := opts.Client
 		if opts.TransportFor != nil {
@@ -247,6 +266,9 @@ func (c *Coordinator) logf(format string, args ...any) {
 // hanging. Call it once per Coordinator.
 func (c *Coordinator) Run(ctx context.Context) ([]scenario.Table, error) {
 	c.agg = c.e.NewAggregator()
+	if err := c.seedFromCache(); err != nil {
+		return nil, err
+	}
 	for {
 		if int(c.leasesMerged.Load()) == len(c.leases) {
 			return c.agg.Tables()
@@ -264,6 +286,41 @@ func (c *Coordinator) Run(ctx context.Context) ([]scenario.Table, error) {
 			return nil, err
 		}
 	}
+}
+
+// seedFromCache absorbs every verified cache entry into the aggregation
+// before the first dispatch and retires leases whose every point was
+// cached: the second coordinator to sweep a popular spec region pays
+// nothing for the overlap. Partially cached leases are still dispatched
+// whole — the dedup bitmap drops the worker's duplicates on merge.
+func (c *Coordinator) seedFromCache() error {
+	if c.memo == nil {
+		return nil
+	}
+	_ = c.opts.Cache.Refresh() // see what other processes published; best-effort
+	for _, l := range c.leases {
+		cached := 0
+		for j := 0; j < l.set.Len(); j++ {
+			p := c.e.PointAt(l.set.At(j))
+			r, ok := c.memo.Lookup(p)
+			if !ok {
+				continue
+			}
+			if err := c.agg.Add(r); err != nil {
+				return err
+			}
+			c.counters.cacheSeeded.Add(1)
+			c.mergedPoints.Add(1)
+			cached++
+		}
+		if cached == l.set.Len() {
+			l.state = LeaseMerged
+			c.leasesMerged.Add(1)
+			c.logf("coord: shard %d/%d served entirely from cache (%d points)",
+				l.shard, len(c.leases), cached)
+		}
+	}
+	return nil
 }
 
 // dispatch assigns every pending lease to the least-loaded live worker.
@@ -410,6 +467,9 @@ func (c *Coordinator) merge(ctx context.Context, l *lease, st *service.JobStatus
 		}
 		c.counters.merged.Add(1)
 		c.mergedPoints.Add(1)
+		if c.memo != nil {
+			c.memo.Publish(c.e.PointAt(r.Index), r)
+		}
 		return nil
 	})
 	if addErr != nil {

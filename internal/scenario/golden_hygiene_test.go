@@ -1,0 +1,16 @@
+package scenario
+
+// The dynamic Fig. 3 acceptance golden is only compared in full (non
+// -short) runs; its hygiene — LF endings, no stray bytes, exactly one
+// trailing newline — is checked unconditionally, so a mangled golden
+// can't hide until the next acceptance pass.
+
+import (
+	"testing"
+
+	"ptgsched/internal/clitest"
+)
+
+func TestGoldenFilesAreHygienic(t *testing.T) {
+	clitest.GoldenHygiene(t)
+}

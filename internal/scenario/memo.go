@@ -1,0 +1,62 @@
+package scenario
+
+import "ptgsched/internal/experiment"
+
+// Memo is a per-point memoization source consulted by every sweep engine
+// (RunMemo, RunEachMemo, a store.Sweep with a memo attached, the service
+// and the fleet coordinator): Lookup is asked for a point's result before
+// it is computed, and Publish is offered the result after a miss was
+// computed. Implementations decide what "known" means — the canonical one
+// is the content-addressed cache (internal/cache), which only answers
+// Lookup from entries whose hash chain verified, so a memo hit is exactly
+// as trustworthy as a fresh computation.
+//
+// Contract: a Lookup hit MUST be bit-identical to what RunPoint would
+// return for the same point (PointResult round-trips float64 values
+// exactly, so byte equality of the JSONL wire form is the test). Both
+// methods must be safe for concurrent use; they are called from sweep
+// worker goroutines. Publish is best-effort — an implementation that
+// cannot persist a result simply drops it, it must not fail the sweep.
+type Memo interface {
+	Lookup(p Point) (PointResult, bool)
+	Publish(p Point, r PointResult)
+}
+
+// ComputePoint is RunPoint behind a memo: a Lookup hit is returned as-is,
+// a miss is computed and offered back via Publish. A nil memo degenerates
+// to RunPoint exactly. All sweep paths funnel through this, so "consult
+// the cache before computing, publish after" holds everywhere a point can
+// be executed.
+func (e *Expansion) ComputePoint(p Point, m Memo) PointResult {
+	if m != nil {
+		if r, ok := m.Lookup(p); ok {
+			return r
+		}
+	}
+	r := e.RunPoint(p)
+	if m != nil {
+		m.Publish(p, r)
+	}
+	return r
+}
+
+// RunMemo is Run with a memo consulted per point. Results are
+// bit-identical to Run at every worker count and every hit/miss split:
+// the memo contract pins hits to what RunPoint would have produced.
+func (e *Expansion) RunMemo(set IndexSet, workers int, m Memo) []PointResult {
+	outs := make([]PointResult, set.Len())
+	experiment.ForEach(set.Len(), workers, func(j int) {
+		outs[j] = e.ComputePoint(e.PointAt(set.At(j)), m)
+	})
+	return outs
+}
+
+// RunEachMemo is RunEach with a memo consulted per point.
+func (e *Expansion) RunEachMemo(set IndexSet, workers int, m Memo, emit func(PointResult) error) error {
+	return e.runEach(set, workers, false, m, emit)
+}
+
+// RunEachIsolatedMemo is RunEachIsolated with a memo consulted per point.
+func (e *Expansion) RunEachIsolatedMemo(set IndexSet, workers int, m Memo, emit func(PointResult) error) error {
+	return e.runEach(set, workers, true, m, emit)
+}

@@ -190,11 +190,7 @@ func flowUnfairness(flows []float64) float64 {
 // result slice is materialized; sweeps too large for that stream through
 // RunEach (or a store.Sweep) instead.
 func (e *Expansion) Run(set IndexSet, workers int) []PointResult {
-	outs := make([]PointResult, set.Len())
-	experiment.ForEach(set.Len(), workers, func(j int) {
-		outs[j] = e.RunPoint(e.PointAt(set.At(j)))
-	})
-	return outs
+	return e.RunMemo(set, workers, nil)
 }
 
 // RunEach executes the set's points over the same worker pool, delivering
@@ -205,7 +201,7 @@ func (e *Expansion) Run(set IndexSet, workers int) []PointResult {
 // order. The first emit error stops the sweep (already-running points
 // drain) and is returned.
 func (e *Expansion) RunEach(set IndexSet, workers int, emit func(PointResult) error) error {
-	return e.runEach(set, workers, false, emit)
+	return e.runEach(set, workers, false, nil, emit)
 }
 
 // RunEachIsolated is RunEach with per-point panic isolation: a panicking
@@ -214,10 +210,10 @@ func (e *Expansion) RunEach(set IndexSet, workers int, emit func(PointResult) er
 // streams campaigns through it so one bad point fails one request, not
 // the process.
 func (e *Expansion) RunEachIsolated(set IndexSet, workers int, emit func(PointResult) error) error {
-	return e.runEach(set, workers, true, emit)
+	return e.runEach(set, workers, true, nil, emit)
 }
 
-func (e *Expansion) runEach(set IndexSet, workers int, isolate bool, emit func(PointResult) error) error {
+func (e *Expansion) runEach(set IndexSet, workers int, isolate bool, m Memo, emit func(PointResult) error) error {
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -242,7 +238,7 @@ func (e *Expansion) runEach(set IndexSet, workers int, isolate bool, emit func(P
 				}
 			}()
 		}
-		r := e.RunPoint(e.PointAt(set.At(j)))
+		r := e.ComputePoint(e.PointAt(set.At(j)), m)
 		mu.Lock()
 		defer mu.Unlock()
 		if firstErr != nil {

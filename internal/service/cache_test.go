@@ -1,0 +1,108 @@
+package service_test
+
+// Service ↔ cache integration: an attached campaign cache turns repeated
+// campaign requests into lookups, surfaces its counters through /v1/stats
+// and the metrics endpoint, and is shared across requests — the
+// fleet-worker sharing shape, one process at a time.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ptgsched/internal/cache"
+	"ptgsched/internal/service"
+)
+
+func TestCampaignCacheSecondRequestAllHits(t *testing.T) {
+	ch, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	s := newService(t, service.Options{Workers: 1, Cache: ch})
+
+	req := service.CampaignRequest{Spec: json.RawMessage(smallCampaignSpec)}
+	first, err := s.Campaign(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheHits != 0 || st.CacheMisses == 0 {
+		t.Fatalf("cold campaign: cache_hits=%d cache_misses=%d", st.CacheHits, st.CacheMisses)
+	}
+
+	second, err := s.Campaign(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Tables, second.Tables) {
+		t.Fatal("cached campaign tables differ from the cold run")
+	}
+	st = s.Stats()
+	if st.CacheHits != uint64(first.Points) {
+		t.Fatalf("warm campaign: cache_hits=%d, want %d", st.CacheHits, first.Points)
+	}
+	if st.CacheVerifyFailures != 0 {
+		t.Fatalf("clean cache reported %d verify failures", st.CacheVerifyFailures)
+	}
+}
+
+func TestStatsEndpointCarriesCacheCounters(t *testing.T) {
+	ch, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	s := newService(t, service.Options{Workers: 1, Cache: ch})
+	if _, err := s.Campaign(context.Background(), service.CampaignRequest{
+		Spec: json.RawMessage(smallCampaignSpec),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	service.Handler(s).ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats: %d", w.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"cache_hits", "cache_misses", "cache_verify_failures"} {
+		if _, ok := body[k]; !ok {
+			t.Fatalf("stats payload missing %q: %s", k, w.Body.String())
+		}
+	}
+	if body["cache_misses"].(float64) == 0 {
+		t.Fatal("cache_misses stayed zero after a cold campaign")
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w = httptest.NewRecorder()
+	service.Handler(s).ServeHTTP(w, req)
+	for _, m := range []string{"ptgserve_cache_hits_total", "ptgserve_cache_misses_total", "ptgserve_cache_verify_failures_total"} {
+		if !strings.Contains(w.Body.String(), m) {
+			t.Fatalf("metrics missing %s", m)
+		}
+	}
+}
+
+func TestServiceWithoutCacheReportsZeroes(t *testing.T) {
+	s := newService(t, service.Options{Workers: 1})
+	if _, err := s.Campaign(context.Background(), service.CampaignRequest{
+		Spec: json.RawMessage(smallCampaignSpec),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheVerifyFailures != 0 {
+		t.Fatalf("cacheless service reported cache traffic: %+v", st)
+	}
+}

@@ -228,7 +228,7 @@ func clampWorkers(w int) int {
 // points run on ForEach's own goroutines, outside runSafely's recover,
 // where a panicking point (a degenerate generated scenario) would kill the
 // whole process instead of failing the one request.
-func runPoints(e *scenario.Expansion, set scenario.IndexSet, workers int) (outs []scenario.PointResult, err error) {
+func runPoints(e *scenario.Expansion, set scenario.IndexSet, workers int, m scenario.Memo) (outs []scenario.PointResult, err error) {
 	outs = make([]scenario.PointResult, set.Len())
 	var mu sync.Mutex
 	experiment.ForEach(set.Len(), workers, func(j int) {
@@ -241,7 +241,7 @@ func runPoints(e *scenario.Expansion, set scenario.IndexSet, workers int) (outs 
 				mu.Unlock()
 			}
 		}()
-		outs[j] = e.RunPoint(e.PointAt(set.At(j)))
+		outs[j] = e.ComputePoint(e.PointAt(set.At(j)), m)
 	})
 	if err != nil {
 		return nil, err
@@ -256,8 +256,8 @@ func runPoints(e *scenario.Expansion, set scenario.IndexSet, workers int) (outs 
 // aggregation slots, not the result set. Panic isolation comes from
 // scenario.RunEachIsolated: one degenerate point fails one request, not
 // the process.
-func runPointsInto(e *scenario.Expansion, set scenario.IndexSet, workers int, emit func(scenario.PointResult) error) error {
-	return e.RunEachIsolated(set, workers, emit)
+func runPointsInto(e *scenario.Expansion, set scenario.IndexSet, workers int, m scenario.Memo, emit func(scenario.PointResult) error) error {
+	return e.RunEachIsolatedMemo(set, workers, m, emit)
 }
 
 // Campaign runs one declarative campaign sweep through the worker pool.
@@ -280,7 +280,7 @@ func (s *Service) Campaign(ctx context.Context, req CampaignRequest) (*CampaignR
 		}
 		if cs.shard == "" {
 			agg := cs.expansion.NewAggregator()
-			if err := runPointsInto(cs.expansion, cs.set, cs.workers, agg.Add); err != nil {
+			if err := runPointsInto(cs.expansion, cs.set, cs.workers, s.memoFor(cs.expansion), agg.Add); err != nil {
 				return nil, err
 			}
 			tables, err := agg.Tables()
@@ -307,7 +307,7 @@ func (s *Service) Campaign(ctx context.Context, req CampaignRequest) (*CampaignR
 				out.Tables = append(out.Tables, ct)
 			}
 		} else {
-			results, err := runPoints(cs.expansion, cs.set, cs.workers)
+			results, err := runPoints(cs.expansion, cs.set, cs.workers, s.memoFor(cs.expansion))
 			if err != nil {
 				return nil, err
 			}

@@ -362,6 +362,9 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 		{"ptgserve_workers", "Configured worker count.", float64(st.Workers)},
 		{"ptgserve_busy_seconds_total", "Cumulative worker execution time.", st.BusySeconds},
 		{"ptgserve_uptime_seconds", "Seconds since the service started.", st.UptimeSeconds},
+		{"ptgserve_cache_hits_total", "Points served from verified cache entries.", float64(st.CacheHits)},
+		{"ptgserve_cache_misses_total", "Points computed on a cache miss.", float64(st.CacheMisses)},
+		{"ptgserve_cache_verify_failures_total", "Corrupted cache records detected and excluded.", float64(st.CacheVerifyFailures)},
 	}
 	for _, m := range ms {
 		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)

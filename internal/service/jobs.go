@@ -525,6 +525,7 @@ func (s *Service) enqueueJob(h *jobHandle) error {
 // would kill the whole process instead of failing the job.
 func (s *Service) runJob(h *jobHandle) error {
 	h.setState(JobRunning, nil)
+	memo := s.memoFor(h.e)
 	experiment.ForEach(h.set.Len(), h.worker, func(j int) {
 		i := h.set.At(j)
 		if h.ctx.Err() != nil {
@@ -540,7 +541,7 @@ func (s *Service) runJob(h *jobHandle) error {
 				h.cancel() // drain the remaining points fast
 			}
 		}()
-		if err := h.record(h.e.RunPoint(h.e.PointAt(i))); err != nil {
+		if err := h.record(h.e.ComputePoint(h.e.PointAt(i), memo)); err != nil {
 			h.mu.Lock()
 			if h.sweepErr == nil {
 				h.sweepErr = err
@@ -549,6 +550,13 @@ func (s *Service) runJob(h *jobHandle) error {
 			h.cancel() // a failed spool append fails the job; drain fast
 		}
 	})
+	if s.opts.Cache != nil {
+		// Seal the cache segment after each job so sibling workers
+		// sharing the directory get truncation-proof entries even if this
+		// process dies before a clean shutdown. Best-effort: a seal
+		// failure costs durability of the seal, not the job.
+		_ = s.opts.Cache.Sync()
+	}
 	h.mu.Lock()
 	err := h.sweepErr
 	h.mu.Unlock()

@@ -30,12 +30,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ptgsched/internal/cache"
 	"ptgsched/internal/core"
 	"ptgsched/internal/dag"
 	"ptgsched/internal/daggen"
 	"ptgsched/internal/mapping"
 	"ptgsched/internal/online"
 	"ptgsched/internal/platform"
+	"ptgsched/internal/scenario"
 	"ptgsched/internal/strategy"
 	"ptgsched/internal/trace"
 	"ptgsched/internal/workload"
@@ -88,6 +90,13 @@ type Options struct {
 	// Limits tunes the campaign and job admission caps; zero fields take
 	// the Default* values (see Limits).
 	Limits Limits
+	// Cache, when set, memoizes campaign and job points through a shared
+	// content-addressed cache (the ptgserve -cache flag): every sweep
+	// consults it before computing and publishes after, and its
+	// hit/miss/verify-failure counters surface in Stats. Fleet workers
+	// pointed at one cache directory share each other's results — a
+	// reassigned shard skips the points its dead owner already proved.
+	Cache *cache.Cache
 }
 
 // withDefaults fills unset fields.
@@ -754,6 +763,13 @@ type Stats struct {
 	MeanQueueWaitMS float64 `json:"mean_queue_wait_ms"`
 	// UptimeSeconds is time since New.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// CacheHits, CacheMisses and CacheVerifyFailures mirror the attached
+	// content-addressed cache's counters (all zero without Options.Cache):
+	// points served from verified cache entries, points computed fresh,
+	// and corrupted cache records detected and excluded on read.
+	CacheHits           uint64 `json:"cache_hits"`
+	CacheMisses         uint64 `json:"cache_misses"`
+	CacheVerifyFailures uint64 `json:"cache_verify_failures"`
 }
 
 // Stats snapshots the service counters. Counters are read individually
@@ -785,7 +801,23 @@ func (s *Service) Stats() Stats {
 		st.MeanLatencyMS = float64(s.stats.busyNanos.Load()) / 1e6 / float64(ran)
 		st.MeanQueueWaitMS = float64(s.stats.queueWaitNanos.Load()) / 1e6 / float64(ran)
 	}
+	if s.opts.Cache != nil {
+		cs := s.opts.Cache.Stats()
+		st.CacheHits, st.CacheMisses, st.CacheVerifyFailures = cs.Hits, cs.Misses, cs.VerifyFailures
+	}
 	return st
+}
+
+// memoFor binds the attached cache to one expansion, refreshing the cache
+// first so entries published by other processes sharing the directory
+// (fleet workers, earlier jobs) are visible to this sweep. Nil without a
+// cache; a failed refresh is not fatal — it only costs cache hits.
+func (s *Service) memoFor(e *scenario.Expansion) scenario.Memo {
+	if s.opts.Cache == nil {
+		return nil
+	}
+	_ = s.opts.Cache.Refresh()
+	return s.opts.Cache.Bind(e)
 }
 
 // Health is the payload of GET /v1/healthz: liveness plus the load facts

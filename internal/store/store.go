@@ -122,6 +122,13 @@ type Store struct {
 
 	failed atomic.Bool // sticky append-failure flag; Sweep drains fast once set
 
+	// memo, when set via UseMemo, is consulted by Sweep before computing
+	// a point and offered every freshly computed result — the
+	// content-addressed cache hook. The store's own durability is
+	// unchanged: hits are appended to segments exactly like computed
+	// results.
+	memo scenario.Memo
+
 	// readOnly marks a handle from OpenRead: no write fds are held, no
 	// done bitmap was recovered, and mutations return ErrReadOnly.
 	readOnly bool
@@ -612,6 +619,27 @@ func (s *Store) Aggregate() ([]scenario.Table, error) {
 // read, so a resumed sweep carries no per-point bookkeeping beyond the
 // done bitmap. Results are bit-identical at every worker count and across
 // any kill/resume split: each point derives everything from its own seed.
+// UseMemo attaches a per-point memoization source (typically a bound
+// content-addressed cache) consulted by Sweep: a memoized point is
+// appended without recomputation. Set it before Sweep runs; it must not
+// be changed while a sweep is in flight.
+func (s *Store) UseMemo(m scenario.Memo) { s.memo = m }
+
+// PublishTo streams every completed result of the store into a memo —
+// the store side of "completed segments are a cache source": a finished
+// (or partially finished) campaign store seeds a shared cache so other
+// campaigns, jobs and fleet workers skip its points. It works on
+// read-only handles and returns the number of results offered.
+func (s *Store) PublishTo(m scenario.Memo) (int, error) {
+	n := 0
+	err := s.Each(func(r scenario.PointResult) error {
+		m.Publish(s.e.PointAt(r.Index), r)
+		n++
+		return nil
+	})
+	return n, err
+}
+
 func (s *Store) Sweep(set scenario.IndexSet, workers int) (ran, skipped int, err error) {
 	if s.readOnly {
 		return 0, 0, ErrReadOnly
@@ -633,7 +661,7 @@ func (s *Store) Sweep(set scenario.IndexSet, workers int) (ran, skipped int, err
 		if s.IsDone(i) {
 			return
 		}
-		r := s.e.RunPoint(s.e.PointAt(i))
+		r := s.e.ComputePoint(s.e.PointAt(i), s.memo)
 		if err := s.Append(r); err != nil {
 			errMu.Lock()
 			// Keep the most informative error: a worker racing in after
