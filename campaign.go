@@ -99,6 +99,10 @@ var (
 	WriteCampaignJSONL    = scenario.WriteJSONL
 	ReadCampaignJSONL     = scenario.ReadJSONL
 	ReadCampaignJSONLFunc = scenario.ReadJSONLFunc
+	// AppendCampaignJSONL appends one record (plus newline) to a reusable
+	// byte buffer, byte-identically to json.Marshal — the allocation-free
+	// encoder streaming sinks reuse one buffer with.
+	AppendCampaignJSONL = scenario.AppendJSONL
 	// SortCampaignResults orders merged shard results by point index.
 	SortCampaignResults = scenario.SortResults
 )

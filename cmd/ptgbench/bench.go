@@ -46,6 +46,16 @@ type BenchResult struct {
 	// cached point. Zero for every other benchmark.
 	CacheHitRate          float64 `json:"cache_hit_rate,omitempty"`
 	CacheVerifyNsPerPoint float64 `json:"cache_verify_ns_per_point,omitempty"`
+	// PointsPerSecPerCore, AllocsPerPoint and ParallelEfficiency carry the
+	// campaign-throughput pair's scaling metrics: campaign runs completed
+	// per second per core actually used, heap allocations per campaign run
+	// (the number the scratch arenas gate), and the measured speedup over a
+	// 1-worker reference divided by min(workers, GOMAXPROCS) — 1.0 is
+	// perfect scaling. ParallelEfficiency is reported only by the
+	// multi-worker variant. Zero for every other benchmark.
+	PointsPerSecPerCore float64 `json:"points_per_sec_per_core,omitempty"`
+	AllocsPerPoint      float64 `json:"allocs_per_point,omitempty"`
+	ParallelEfficiency  float64 `json:"parallel_efficiency,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_mapping.json: the frozen seed baseline
@@ -156,6 +166,10 @@ func bench(w io.Writer, jsonPath string) error {
 
 			CacheHitRate:          res.Extra["cache-hit-rate"],
 			CacheVerifyNsPerPoint: res.Extra["cache-verify-ns/point"],
+
+			PointsPerSecPerCore: res.Extra["points/sec/core"],
+			AllocsPerPoint:      res.Extra["allocs/point"],
+			ParallelEfficiency:  res.Extra["parallel-efficiency"],
 		}
 		report.Current = append(report.Current, cur)
 		speedup, allocRatio := 0.0, 0.0
@@ -192,6 +206,9 @@ func bench(w io.Writer, jsonPath string) error {
 		fmt.Fprintf(w, "\nconcurrent throughput: %.2fx at 8 workers (GOMAXPROCS=%d), service %.1f req/s at 8 clients\n",
 			conc.CampaignSpeedup8W, conc.GOMAXPROCS, conc.ServiceReqPerSecond)
 	}
+	if err := gateScaling(w, one, eight); err != nil {
+		return err
+	}
 
 	if out == nil {
 		return nil
@@ -208,5 +225,49 @@ func bench(w io.Writer, jsonPath string) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// Scaling gates enforced by every `ptgbench -experiment bench` run: a
+// comparison that trips one fails (non-zero exit), so a CI lane running
+// the suite catches the regression.
+const (
+	// maxAllocsPerPoint caps the 1-worker campaign's heap allocations per
+	// campaign run. The seed implementation measured ~117,900; the scratch-
+	// arena refactor brought it under 9,000, and the gate pins at least a
+	// 4x reduction from the seed with headroom for benign drift.
+	maxAllocsPerPoint = 29_000
+	// minParallelEfficiency is the floor on the 8-worker campaign's
+	// parallel efficiency (speedup over 1 worker ÷ min(8, GOMAXPROCS)),
+	// checked only on hosts with ≥ 4 cores — below that the efficiency
+	// denominator is too small to separate scaling bugs from noise. The
+	// design target is ≥ 0.8 on an idle multicore runner; the gate sits at
+	// 0.5 so shared-runner noise does not flake it, while a serialized
+	// sweep (which measures ~0.15) still trips it decisively.
+	minParallelEfficiency = 0.5
+)
+
+// gateScaling enforces the multicore scaling floors on the campaign-
+// throughput pair's custom metrics.
+func gateScaling(w io.Writer, one, eight BenchResult) error {
+	if one.AllocsPerPoint > 0 {
+		fmt.Fprintf(w, "allocs/point: %.0f (gate ≤ %d)\n", one.AllocsPerPoint, maxAllocsPerPoint)
+		if one.AllocsPerPoint > maxAllocsPerPoint {
+			return fmt.Errorf("bench gate: %s allocates %.0f allocs/point, above the %d ceiling",
+				benchsuite.CampaignWorkers1, one.AllocsPerPoint, maxAllocsPerPoint)
+		}
+	}
+	if eight.ParallelEfficiency > 0 {
+		fmt.Fprintf(w, "parallel efficiency at 8 workers: %.2f", eight.ParallelEfficiency)
+		if runtime.GOMAXPROCS(0) >= 4 {
+			fmt.Fprintf(w, " (gate ≥ %.2f)\n", minParallelEfficiency)
+			if eight.ParallelEfficiency < minParallelEfficiency {
+				return fmt.Errorf("bench gate: %s parallel efficiency %.2f below the %.2f floor (GOMAXPROCS=%d)",
+					benchsuite.CampaignWorkers8, eight.ParallelEfficiency, minParallelEfficiency, runtime.GOMAXPROCS(0))
+			}
+		} else {
+			fmt.Fprintf(w, " (not gated: GOMAXPROCS=%d < 4)\n", runtime.GOMAXPROCS(0))
+		}
+	}
 	return nil
 }

@@ -73,6 +73,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -125,6 +127,8 @@ func run(argv []string, w io.Writer) error {
 		workers      = fs.Int("workers", 0, "concurrent runs (default: GOMAXPROCS)")
 		csvPath      = fs.String("csv", "", "also write the aggregated results to this CSV file")
 		jsonPath     = fs.String("json", "", "bench: write the regression report to this JSON file (e.g. BENCH_mapping.json)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = fs.String("memprofile", "", "write a pprof allocation profile (after a final GC) to this file on exit")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(argv); err != nil {
@@ -132,6 +136,39 @@ func run(argv []string, w io.Writer) error {
 			return nil // -h: usage already printed, exit 0
 		}
 		return errUsage
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "ptgbench: wrote CPU profile to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ptgbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live + cumulative allocs accurately
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ptgbench: memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ptgbench: wrote heap profile to %s\n", path)
+		}()
 	}
 
 	if *queryFlag {
@@ -367,14 +404,17 @@ func campaignMode(w io.Writer, specPath, shard, jsonlPath, merge, storeDir strin
 	stop := startProgress(func() string {
 		return fmt.Sprintf("campaign %s: %d/%d points", name, done.Load(), set.Len())
 	})
+	var lineBuf []byte // reused across emits; emit calls are serialized
 	err = e.RunEachMemo(set, workers, memo, func(r ptgsched.CampaignPointResult) error {
 		if sink != nil {
-			line, err := json.Marshal(r)
+			var err error
+			lineBuf, err = ptgsched.AppendCampaignJSONL(lineBuf[:0], r)
 			if err != nil {
 				return err
 			}
-			sink.Write(line)
-			sink.WriteByte('\n')
+			if _, err := sink.Write(lineBuf); err != nil {
+				return err
+			}
 		}
 		if err := agg.Add(r); err != nil {
 			return err
@@ -487,6 +527,7 @@ func mergeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, spec
 		defer f.Close()
 		sink = bufio.NewWriter(f)
 	}
+	var lineBuf []byte // reused across records; the merge loop is sequential
 	agg := e.NewAggregator()
 	for _, path := range paths {
 		f, err := os.Open(path)
@@ -495,12 +536,14 @@ func mergeMode(w io.Writer, specPath string, e *ptgsched.CampaignExpansion, spec
 		}
 		err = ptgsched.ReadCampaignJSONLFunc(f, func(r ptgsched.CampaignPointResult) error {
 			if sink != nil {
-				line, err := json.Marshal(r)
+				var err error
+				lineBuf, err = ptgsched.AppendCampaignJSONL(lineBuf[:0], r)
 				if err != nil {
 					return err
 				}
-				sink.Write(line)
-				sink.WriteByte('\n')
+				if _, err := sink.Write(lineBuf); err != nil {
+					return err
+				}
 			}
 			return agg.Add(r)
 		})

@@ -64,6 +64,11 @@ type Allocation struct {
 	Ref   platform.Reference
 	Beta  float64
 	Procs []int
+
+	// powers is the reusable buffer behind violates' per-level power
+	// test: the growth loop runs it once per tentative step, so the
+	// buffer amortizes to zero allocations across an entire Compute.
+	powers []float64
 }
 
 // TimeOf returns the estimated execution time of t on its reference
@@ -100,12 +105,20 @@ func (a *Allocation) TotalArea() float64 {
 func (a *Allocation) LevelPowers() []float64 {
 	sets := a.Graph.LevelSets()
 	powers := make([]float64, len(sets))
-	for l, set := range sets {
-		for _, t := range set {
-			powers[l] += a.PowerOf(t)
-		}
-	}
+	a.levelPowersInto(powers, sets)
 	return powers
+}
+
+// levelPowersInto computes LevelPowers into powers, which must have
+// length len(sets).
+func (a *Allocation) levelPowersInto(powers []float64, sets [][]*dag.Task) {
+	for l, set := range sets {
+		sum := 0.0
+		for _, t := range set {
+			sum += a.PowerOf(t)
+		}
+		powers[l] = sum
+	}
 }
 
 // violates reports whether the allocation breaks the β constraint under the
@@ -132,7 +145,12 @@ func (a *Allocation) violates(proc Procedure) bool {
 		}
 		return a.TotalArea()/cp > budget*(1+tol)
 	case SCRAPMAX:
-		for _, p := range a.LevelPowers() {
+		sets := a.Graph.LevelSets()
+		if len(a.powers) != len(sets) {
+			a.powers = make([]float64, len(sets))
+		}
+		a.levelPowersInto(a.powers, sets)
+		for _, p := range a.powers {
 			if p > budget*(1+tol) {
 				return true
 			}

@@ -100,19 +100,62 @@ func Campaign(b *testing.B, cfg experiment.Config) {
 // concurrent-throughput speedup recorded in BENCH_mapping.json; the
 // campaign is embarrassingly parallel, so it tracks min(8, GOMAXPROCS) on
 // an otherwise idle machine.
+//
+// Beyond ns/op, three scaling metrics land in BENCH_mapping.json:
+// "points/sec/core" (campaign runs completed per second per core actually
+// used — the machine-normalized throughput), "allocs/point" (heap
+// allocations per campaign run, the number the scratch arenas gate), and —
+// for the multi-worker variant only — "parallel-efficiency": the measured
+// speedup over an untimed 1-worker reference run divided by
+// min(workers, GOMAXPROCS), so 1.0 is perfect scaling on any host.
 func CampaignThroughput(b *testing.B, workers int) {
 	b.Helper()
 	cfg := experiment.Fig3Config(42, 2)
 	cfg.NPTGs = []int{2, 6, 10}
 	cfg.Workers = workers
 	cfg = cfg.Defaults()
+	runs := len(cfg.NPTGs) * cfg.Reps * len(cfg.Platforms)
+
+	cores := workers
+	if g := runtime.GOMAXPROCS(0); cores > g {
+		cores = g
+	}
+	// Sequential reference for the efficiency metric, outside the timed
+	// region. Only the fan-out variants pay for it; the 1-worker benchmark
+	// IS the reference.
+	refNS := 0.0
+	if workers > 1 {
+		ref := cfg
+		ref.Workers = 1
+		start := time.Now()
+		if res := experiment.Run(ref); len(res.Points) != 3 {
+			b.Fatal("reference campaign lost points")
+		}
+		refNS = float64(time.Since(start).Nanoseconds())
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		res := experiment.Run(cfg)
 		if len(res.Points) != 3 {
 			b.Fatal("campaign lost points")
 		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+
+	perIterNS := float64(elapsed.Nanoseconds()) / float64(b.N)
+	if perIterNS > 0 {
+		b.ReportMetric(float64(runs)/(perIterNS/1e9)/float64(cores), "points/sec/core")
+	}
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(b.N)/float64(runs), "allocs/point")
+	if refNS > 0 && perIterNS > 0 {
+		b.ReportMetric((refNS/perIterNS)/float64(cores), "parallel-efficiency")
 	}
 }
 

@@ -84,11 +84,64 @@ func (s *Scheduler) Schedule(graphs []*dag.Graph, strat strategy.Strategy) *Resu
 	}
 }
 
+// Scratch amortizes a scheduler's per-call state — most importantly the
+// simulated executor's engine, flow net and buffers — across the many
+// batches one worker schedules. A Scratch must be confined to one
+// goroutine; the Result ScheduleWith returns (and the Evaluation slices
+// EvaluateWith fills) are scratch-owned and overwritten by the next call
+// on the same Scratch, so callers consume them before scheduling again.
+type Scratch struct {
+	exec  *simexec.Scratch
+	apps  []*alloc.Allocation
+	alone [1]*dag.Graph
+	slow  []float64
+	res   Result
+}
+
+// NewScratch returns an empty scratch ready for ScheduleWith.
+func NewScratch() *Scratch {
+	return &Scratch{exec: simexec.NewScratch()}
+}
+
+// ScheduleWith is Schedule on a reusable worker-owned scratch. The
+// returned Result belongs to the scratch: it is valid until the next
+// ScheduleWith or ScheduleAloneWith call on sc. The computation is
+// bit-identical to Schedule.
+func (s *Scheduler) ScheduleWith(sc *Scratch, graphs []*dag.Graph, strat strategy.Strategy) *Result {
+	if len(graphs) == 0 {
+		panic("core: empty batch")
+	}
+	ref := s.Platform.ReferenceCluster()
+	betas := strat.Betas(graphs, ref)
+	if cap(sc.apps) < len(graphs) {
+		sc.apps = make([]*alloc.Allocation, len(graphs))
+	}
+	apps := sc.apps[:len(graphs)]
+	for i, g := range graphs {
+		apps[i] = alloc.Compute(g, ref, betas[i], s.Procedure)
+	}
+	sched := mapping.Map(s.Platform, apps, s.MapOptions)
+	sc.res = Result{
+		Strategy:    strat,
+		Betas:       betas,
+		Allocations: apps,
+		Schedule:    sched,
+		Exec:        sc.exec.Execute(sched),
+	}
+	return &sc.res
+}
+
 // ScheduleAlone schedules a single PTG with the whole platform to itself
 // (β = 1), the configuration M_own is measured in. The returned makespan is
 // the simulated one.
 func (s *Scheduler) ScheduleAlone(g *dag.Graph) float64 {
 	return s.Schedule([]*dag.Graph{g}, strategy.S()).Makespan(0)
+}
+
+// ScheduleAloneWith is ScheduleAlone on a reusable scratch.
+func (s *Scheduler) ScheduleAloneWith(sc *Scratch, g *dag.Graph) float64 {
+	sc.alone[0] = g
+	return s.ScheduleWith(sc, sc.alone[:], strategy.S()).Makespan(0)
 }
 
 // Evaluation bundles the paper's metrics for one scheduled batch.
@@ -102,11 +155,25 @@ type Evaluation struct {
 // Evaluate computes the slowdown of each application (against the provided
 // M_own values) and the batch unfairness.
 func (r *Result) Evaluate(own []float64) Evaluation {
+	return r.evaluate(own, make([]float64, len(own)))
+}
+
+// EvaluateWith is Evaluate with the Slowdowns slice drawn from the
+// scratch: the returned Evaluation is valid until the next EvaluateWith
+// on sc. Callers that keep only the scalar fields (unfairness, makespan)
+// pay no per-call allocation.
+func (r *Result) EvaluateWith(sc *Scratch, own []float64) Evaluation {
+	if cap(sc.slow) < len(own) {
+		sc.slow = make([]float64, len(own))
+	}
+	return r.evaluate(own, sc.slow[:len(own)])
+}
+
+func (r *Result) evaluate(own, sl []float64) Evaluation {
 	if len(own) != len(r.Exec.AppMakespans) {
 		panic(fmt.Sprintf("core: %d own makespans for %d applications",
 			len(own), len(r.Exec.AppMakespans)))
 	}
-	sl := make([]float64, len(own))
 	for i := range sl {
 		sl[i] = metrics.Slowdown(own[i], r.Exec.AppMakespans[i])
 	}

@@ -73,6 +73,11 @@ type Graph struct {
 	// callers (OnCriticalPath, CriticalPathLength internals).
 	scratchBL []float64
 	scratchTL []float64
+	// Scratch behind OnCriticalPath's returned marks: the allocator calls
+	// it once per growth step, so the marks are graph-owned and
+	// overwritten by the next call (read-only for callers, like every
+	// other cached analysis).
+	scratchMarks []bool
 }
 
 // invalidate drops the structural caches after a mutation.

@@ -215,17 +215,21 @@ func (g *Graph) CriticalPath(timeOf TimeFunc, commOf CommFunc) []*Task {
 // tolerance): the set of critical tasks the allocator may widen. Bottom
 // levels are computed once and shared between the mark test and the
 // critical path length (the seed recomputed them three times per call).
+// The returned slice is graph-owned scratch, overwritten by the next
+// call: the allocator re-runs the analysis on every growth step and
+// consumes the marks before the next one.
 func (g *Graph) OnCriticalPath(timeOf TimeFunc, commOf CommFunc) []bool {
 	bl, tl := g.scratchLevels()
 	g.bottomLevelsInto(bl, timeOf, commOf)
 	g.topLevelsInto(tl, timeOf, commOf)
 	cp := g.maxEntryLevel(bl)
 	const relTol = 1e-9
-	marks := make([]bool, len(g.Tasks))
+	if len(g.scratchMarks) != len(g.Tasks) {
+		g.scratchMarks = make([]bool, len(g.Tasks))
+	}
+	marks := g.scratchMarks
 	for _, t := range g.Tasks {
-		if tl[t.ID]+bl[t.ID] >= cp*(1-relTol) {
-			marks[t.ID] = true
-		}
+		marks[t.ID] = tl[t.ID]+bl[t.ID] >= cp*(1-relTol)
 	}
 	return marks
 }

@@ -118,18 +118,25 @@ type Result struct {
 // grid is never materialized: the worker pool is driven by a bare index
 // generator (ForEach), and each index is decomposed arithmetically into
 // its (point, rep, platform) key — the same lazy-enumeration discipline
-// the scenario layer's PointAt uses.
+// the scenario layer's PointAt uses. Each pool slot owns one Scratch, so
+// the simulation state is reused across all the runs a worker executes.
 func Run(cfg Config) *Result {
 	cfg = cfg.Defaults()
 
 	perPoint := cfg.Reps * len(cfg.Platforms)
 	total := len(cfg.NPTGs) * perPoint
 	outs := make([]Measurement, total)
-	ForEach(total, cfg.Workers, func(i int) {
+	scratches := make([]*Scratch, Workers(total, cfg.Workers))
+	ForEachWorker(total, cfg.Workers, func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = NewScratch()
+			scratches[w] = sc
+		}
 		// Decompose i along the (point, rep, platform) enumeration order.
 		pi := i / perPoint
 		rem := i % perPoint
-		outs[i] = RunOne(cfg, pi, rem/len(cfg.Platforms), rem%len(cfg.Platforms))
+		outs[i] = RunOneWith(cfg, pi, rem/len(cfg.Platforms), rem%len(cfg.Platforms), sc)
 	})
 
 	res := &Result{Config: cfg}
@@ -170,6 +177,23 @@ func Run(cfg Config) *Result {
 	return res
 }
 
+// Workers resolves the effective pool size ForEach and ForEachWorker use
+// for n jobs: 0 means GOMAXPROCS, anything ≤ 1 means inline, and the pool
+// never exceeds the job count. Callers sizing per-worker state (scratch
+// arenas, emit batches) allocate exactly Workers(n, workers) slots.
+func Workers(n, workers int) int {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // ForEach runs fn(i) for every i in [0, n) over a fixed pool of workers
 // goroutines (workers ≤ 1 runs inline on the calling goroutine; workers = 0
 // uses GOMAXPROCS). It is the campaign worker pool shared by Run and the
@@ -177,13 +201,21 @@ func Run(cfg Config) *Result {
 // results are independent of the fan-out. ForEach returns when every call
 // has finished.
 func ForEach(n, workers int, fn func(i int)) {
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the pool slot identity exposed: fn runs as
+// fn(worker, i) where worker ∈ [0, Workers(n, workers)) names the goroutine
+// executing the call. A slot runs its calls strictly sequentially, so
+// per-worker state indexed by the slot — scratch arenas, result batches —
+// needs no synchronization of its own. Which indices land on which slot is
+// scheduling-dependent; fn must not let that affect its results.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	workers = Workers(n, workers)
 	if workers <= 1 {
 		// Sequential reference path: no goroutines at all.
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -192,17 +224,14 @@ func ForEach(n, workers int, fn func(i int)) {
 	// invisible in the results.
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	if workers > n {
-		workers = n
-	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		jobs <- i
@@ -233,28 +262,75 @@ type Measurement struct {
 	Rel []float64
 }
 
+// Scratch amortizes one worker's per-run state — the core scheduler
+// scratch (simulation engine, flow net, executor buffers) plus the run's
+// graph and M_own slices and a per-platform scheduler — across the many
+// runs a pool slot executes. A Scratch must be confined to one goroutine.
+// The Measurements RunOneWith returns are NOT scratch-owned: their slices
+// are freshly allocated, so results may be retained and batched freely.
+type Scratch struct {
+	core   *core.Scratch
+	graphs []*dag.Graph
+	own    []float64
+	// Scheduler cache keyed by platform index; pfs guards reuse across
+	// calls with different Config values.
+	pfs    []*platform.Platform
+	scheds []*core.Scheduler
+}
+
+// NewScratch returns an empty scratch ready for RunOneWith.
+func NewScratch() *Scratch {
+	return &Scratch{core: core.NewScratch()}
+}
+
+// schedulerFor returns the cached paper-configuration scheduler for
+// platform pfIdx, building it on first use (or when the platform set
+// changed between calls, which only mixed-config callers do).
+func (sc *Scratch) schedulerFor(pf *platform.Platform, pfIdx int) *core.Scheduler {
+	for len(sc.scheds) <= pfIdx {
+		sc.scheds = append(sc.scheds, nil)
+		sc.pfs = append(sc.pfs, nil)
+	}
+	if sc.pfs[pfIdx] != pf {
+		sc.scheds[pfIdx] = core.New(pf)
+		sc.pfs[pfIdx] = pf
+	}
+	return sc.scheds[pfIdx]
+}
+
 // RunOne executes the single campaign run identified by (point, rep,
 // platform) — indices into cfg.NPTGs and cfg.Platforms — on the calling
 // goroutine. Run is exactly an aggregation of RunOne over the full key
 // grid; the scenario package calls it directly to sweep spec-driven
 // expansions point by point with bit-identical results.
 func RunOne(cfg Config, point, rep, pfIdx int) Measurement {
+	return RunOneWith(cfg, point, rep, pfIdx, NewScratch())
+}
+
+// RunOneWith is RunOne on a reusable worker-owned scratch: the simulation
+// and scheduling state is recycled across calls, so a worker sweeping
+// thousands of runs allocates only what escapes into the Measurement.
+// Results are bit-identical to RunOne — the scratch changes where buffers
+// live, never what is computed.
+func RunOneWith(cfg Config, point, rep, pfIdx int, sc *Scratch) Measurement {
 	r := rand.New(rand.NewSource(RunSeed(cfg.Seed, point, rep)))
 	n := cfg.NPTGs[point]
 	gen := cfg.Gen
 	if gen == nil {
 		gen = func(r *rand.Rand) *dag.Graph { return daggen.Generate(cfg.Family, r) }
 	}
-	graphs := make([]*dag.Graph, n)
+	sc.graphs = growSlice(sc.graphs, n)
+	graphs := sc.graphs
 	for i := range graphs {
 		graphs[i] = gen(r)
 	}
 	pf := cfg.Platforms[pfIdx]
-	sched := core.New(pf)
+	sched := sc.schedulerFor(pf, pfIdx)
 
-	own := make([]float64, n)
+	sc.own = growSlice(sc.own, n)
+	own := sc.own
 	for i, g := range graphs {
-		own[i] = sched.ScheduleAlone(g)
+		own[i] = sched.ScheduleAloneWith(sc.core, g)
 	}
 
 	m := Measurement{
@@ -262,13 +338,22 @@ func RunOne(cfg Config, point, rep, pfIdx int) Measurement {
 		Makespan:   make([]float64, len(cfg.Strategies)),
 	}
 	for s, strat := range cfg.Strategies {
-		res := sched.Schedule(graphs, strat)
-		ev := res.Evaluate(own)
+		res := sched.ScheduleWith(sc.core, graphs, strat)
+		ev := res.EvaluateWith(sc.core, own)
 		m.Unfairness[s] = ev.Unfairness
 		m.Makespan[s] = ev.Makespan
 	}
 	m.Rel = metrics.RelativeMakespans(m.Makespan)
 	return m
+}
+
+// growSlice resizes s to length n, reusing capacity when possible. The
+// returned slice's contents are unspecified; callers overwrite them.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // String summarizes a result compactly.

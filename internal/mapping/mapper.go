@@ -222,6 +222,7 @@ func (m *mapper) place(app int, t *dag.Task) *Placement {
 
 	p := &Placement{
 		App:     app,
+		Index:   len(m.sched.Placements),
 		Task:    t,
 		Cluster: best.cluster,
 		Procs:   procs,

@@ -27,7 +27,11 @@ import (
 
 // Placement records where and when one task executes.
 type Placement struct {
-	App     int // index of the application in the schedule
+	App int // index of the application in the schedule
+	// Index is the placement's position in Schedule.Placements, set when
+	// the placement is recorded (by the mapper or by Add). The simulated
+	// executor uses it to index its per-placement state without a map.
+	Index   int
 	Task    *dag.Task
 	Cluster *platform.Cluster
 	// Procs are the indices (within the cluster) of the processors used.
@@ -70,6 +74,7 @@ func (s *Schedule) Add(p *Placement) {
 	if s.byTask[p.Task] != nil {
 		panic(fmt.Sprintf("mapping: task %q placed twice", p.Task.Name))
 	}
+	p.Index = len(s.Placements)
 	s.Placements = append(s.Placements, p)
 	s.byTask[p.Task] = p
 }

@@ -81,6 +81,12 @@ type Platform struct {
 	Clusters     []*Cluster
 	SharedSwitch bool
 	Backbone     *sim.Link // nil when SharedSwitch
+
+	// routes[src][dst] is the precomputed route between every cluster
+	// pair. The simulator asks for a route once per data redistribution,
+	// so New materializes the (few × few) table up front and Route
+	// becomes a lookup of a shared read-only slice.
+	routes [][][]*sim.Link
 }
 
 // New assembles a platform from cluster specifications. It panics on
@@ -110,6 +116,13 @@ func New(name string, sharedSwitch bool, specs ...ClusterSpec) *Platform {
 	}
 	if !sharedSwitch {
 		p.Backbone = sim.NewLink(name+"/backbone", BackboneBandwidth, LANLatency)
+	}
+	p.routes = make([][][]*sim.Link, len(p.Clusters))
+	for i, src := range p.Clusters {
+		p.routes[i] = make([][]*sim.Link, len(p.Clusters))
+		for j, dst := range p.Clusters {
+			p.routes[i][j] = p.buildRoute(src, dst)
+		}
 	}
 	return p
 }
@@ -163,8 +176,17 @@ func (p *Platform) FastestSpeed() float64 {
 // Route returns the sequence of links traversed by a data redistribution
 // from cluster src to cluster dst. Within one cluster the route is the
 // cluster's intra link; between clusters it is the two uplinks, plus the
-// backbone on per-cluster-switch sites.
+// backbone on per-cluster-switch sites. The returned slice is shared and
+// read-only: New precomputes all pairs, so the simulation's per-transfer
+// route lookups allocate nothing.
 func (p *Platform) Route(src, dst *Cluster) []*sim.Link {
+	if p.routes != nil {
+		return p.routes[src.Index][dst.Index]
+	}
+	return p.buildRoute(src, dst)
+}
+
+func (p *Platform) buildRoute(src, dst *Cluster) []*sim.Link {
 	if src == dst {
 		return []*sim.Link{src.Intra}
 	}

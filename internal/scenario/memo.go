@@ -28,12 +28,20 @@ type Memo interface {
 // the cache before computing, publish after" holds everywhere a point can
 // be executed.
 func (e *Expansion) ComputePoint(p Point, m Memo) PointResult {
+	return e.ComputePointScratch(nil, p, m)
+}
+
+// ComputePointScratch is ComputePoint drawing per-point working state
+// from a worker-owned scratch (nil degrades to ComputePoint exactly).
+// The returned result is never scratch-owned — see Scratch — so it may
+// be retained, batched and published freely.
+func (e *Expansion) ComputePointScratch(sc *Scratch, p Point, m Memo) PointResult {
 	if m != nil {
 		if r, ok := m.Lookup(p); ok {
 			return r
 		}
 	}
-	r := e.RunPoint(p)
+	r := e.runPoint(p, sc)
 	if m != nil {
 		m.Publish(p, r)
 	}
@@ -45,18 +53,22 @@ func (e *Expansion) ComputePoint(p Point, m Memo) PointResult {
 // the memo contract pins hits to what RunPoint would have produced.
 func (e *Expansion) RunMemo(set IndexSet, workers int, m Memo) []PointResult {
 	outs := make([]PointResult, set.Len())
-	experiment.ForEach(set.Len(), workers, func(j int) {
-		outs[j] = e.ComputePoint(e.PointAt(set.At(j)), m)
+	scratches := make([]*Scratch, experiment.Workers(set.Len(), workers))
+	experiment.ForEachWorker(set.Len(), workers, func(w, j int) {
+		if scratches[w] == nil {
+			scratches[w] = NewScratch()
+		}
+		outs[j] = e.ComputePointScratch(scratches[w], e.PointAt(set.At(j)), m)
 	})
 	return outs
 }
 
 // RunEachMemo is RunEach with a memo consulted per point.
 func (e *Expansion) RunEachMemo(set IndexSet, workers int, m Memo, emit func(PointResult) error) error {
-	return e.runEach(set, workers, false, m, emit)
+	return e.runEach(set, workers, 0, false, m, emit)
 }
 
 // RunEachIsolatedMemo is RunEachIsolated with a memo consulted per point.
 func (e *Expansion) RunEachIsolatedMemo(set IndexSet, workers int, m Memo, emit func(PointResult) error) error {
-	return e.runEach(set, workers, true, m, emit)
+	return e.runEach(set, workers, 0, true, m, emit)
 }

@@ -40,14 +40,38 @@ type PointResult struct {
 	Rel []float64 `json:"rel"`
 }
 
+// Scratch amortizes one sweep worker's per-point state (the experiment
+// layer's simulation and scheduling buffers) across the points a pool slot
+// executes. It must be confined to one goroutine. Only static cells draw
+// on it — online and dynamic points build their engines per point — and
+// the PointResults produced through it are never scratch-owned: their
+// slices escape, so results batch and aggregate freely.
+type Scratch struct {
+	exp *experiment.Scratch
+}
+
+// NewScratch returns an empty scratch ready for ComputePointScratch.
+func NewScratch() *Scratch {
+	return &Scratch{exp: experiment.NewScratch()}
+}
+
 // RunPoint executes one scenario point on the calling goroutine.
 func (e *Expansion) RunPoint(p Point) PointResult {
+	return e.runPoint(p, nil)
+}
+
+func (e *Expansion) runPoint(p Point, sc *Scratch) PointResult {
 	c := e.Cells[p.Cell]
 	if c.Policy != "" {
 		return e.runDynamicPoint(c, p)
 	}
 	if c.Online == nil {
-		m := experiment.RunOne(c.Config, p.NIdx, p.Rep, p.Platform)
+		var m experiment.Measurement
+		if sc != nil {
+			m = experiment.RunOneWith(c.Config, p.NIdx, p.Rep, p.Platform, sc.exp)
+		} else {
+			m = experiment.RunOne(c.Config, p.NIdx, p.Rep, p.Platform)
+		}
 		return PointResult{
 			Index: p.Index, Cell: p.Cell, Name: p.Name,
 			Unfairness: m.Unfairness, Makespan: m.Makespan, Rel: m.Rel,
@@ -195,13 +219,25 @@ func (e *Expansion) Run(set IndexSet, workers int) []PointResult {
 
 // RunEach executes the set's points over the same worker pool, delivering
 // each result to emit as it completes instead of materializing a slice —
-// the streaming form of Run. emit calls are serialized (one at a time,
-// under an internal mutex) but arrive in completion order, not point
-// order; callers needing order feed an Aggregator, which accepts any
-// order. The first emit error stops the sweep (already-running points
-// drain) and is returned.
+// the streaming form of Run. Each worker gathers its results into a
+// private batch and flushes it to emit in one mutex acquisition, so the
+// emit lock is taken once per defaultEmitBatch points, not once per
+// point. emit calls are serialized (one at a time), arrive in completion
+// order within a batch and in no particular order across batches; callers
+// needing order feed an Aggregator, which accepts any order. The first
+// emit error stops the sweep (already-running points drain; their not-yet-
+// flushed batches are discarded) and is returned.
 func (e *Expansion) RunEach(set IndexSet, workers int, emit func(PointResult) error) error {
-	return e.runEach(set, workers, false, nil, emit)
+	return e.runEach(set, workers, 0, false, nil, emit)
+}
+
+// RunEachBatch is RunEach with an explicit per-worker flush batch size
+// (≤ 0 selects the default). The batch size changes flush granularity —
+// latency of results reaching emit, nothing else; the emitted result set
+// is identical for every value. Exposed so the determinism suite can pin
+// extreme batch shapes.
+func (e *Expansion) RunEachBatch(set IndexSet, workers, batch int, emit func(PointResult) error) error {
+	return e.runEach(set, workers, batch, false, nil, emit)
 }
 
 // RunEachIsolated is RunEach with per-point panic isolation: a panicking
@@ -210,10 +246,34 @@ func (e *Expansion) RunEach(set IndexSet, workers int, emit func(PointResult) er
 // streams campaigns through it so one bad point fails one request, not
 // the process.
 func (e *Expansion) RunEachIsolated(set IndexSet, workers int, emit func(PointResult) error) error {
-	return e.runEach(set, workers, true, nil, emit)
+	return e.runEach(set, workers, 0, true, nil, emit)
 }
 
-func (e *Expansion) runEach(set IndexSet, workers int, isolate bool, m Memo, emit func(PointResult) error) error {
+// RunEachIsolatedBatch is RunEachIsolated with an explicit batch size,
+// the isolation-enabled twin of RunEachBatch.
+func (e *Expansion) RunEachIsolatedBatch(set IndexSet, workers, batch int, emit func(PointResult) error) error {
+	return e.runEach(set, workers, batch, true, nil, emit)
+}
+
+// defaultEmitBatch is the per-worker flush granularity of the streaming
+// sweep runners: small enough that consumers (JSONL sinks, progress
+// reporting) see results promptly, large enough that the emit mutex stops
+// being a contention point at high worker counts.
+const defaultEmitBatch = 64
+
+func (e *Expansion) runEach(set IndexSet, workers, batch int, isolate bool, m Memo, emit func(PointResult) error) error {
+	if batch <= 0 {
+		batch = defaultEmitBatch
+	}
+	n := set.Len()
+	// Per-worker state: the scratch arena points are computed with and the
+	// result batch flushed wholesale. Slots are goroutine-confined by
+	// ForEachWorker, so none of this needs its own locking.
+	type workerState struct {
+		sc  *Scratch
+		buf []PointResult
+	}
+	states := make([]workerState, experiment.Workers(n, workers))
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -227,10 +287,32 @@ func (e *Expansion) runEach(set IndexSet, workers int, isolate bool, m Memo, emi
 		mu.Unlock()
 		stop.Store(true)
 	}
-	experiment.ForEach(set.Len(), workers, func(j int) {
+	// flush drains one worker's batch through emit under a single mutex
+	// acquisition. After a failure the batch is discarded unsent — the
+	// sweep is already stopping and partial output past the first error is
+	// not part of RunEach's contract.
+	flush := func(ws *workerState) {
+		if len(ws.buf) == 0 {
+			return
+		}
+		mu.Lock()
+		for i := range ws.buf {
+			if firstErr != nil {
+				break
+			}
+			if err := emit(ws.buf[i]); err != nil {
+				firstErr = err
+				stop.Store(true)
+			}
+		}
+		mu.Unlock()
+		ws.buf = ws.buf[:0]
+	}
+	experiment.ForEachWorker(n, workers, func(w, j int) {
 		if stop.Load() {
 			return
 		}
+		ws := &states[w]
 		if isolate {
 			defer func() {
 				if r := recover(); r != nil {
@@ -238,31 +320,38 @@ func (e *Expansion) runEach(set IndexSet, workers int, isolate bool, m Memo, emi
 				}
 			}()
 		}
-		r := e.ComputePoint(e.PointAt(set.At(j)), m)
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil {
-			return
+		if ws.sc == nil {
+			ws.sc = NewScratch()
 		}
-		if err := emit(r); err != nil {
-			firstErr = err
-			stop.Store(true)
+		ws.buf = append(ws.buf, e.ComputePointScratch(ws.sc, e.PointAt(set.At(j)), m))
+		if len(ws.buf) >= batch {
+			flush(ws)
 		}
 	})
+	// Workers have all returned; drain the partial batches. flush itself
+	// skips emitting once a failure is recorded.
+	for w := range states {
+		flush(&states[w])
+	}
 	return firstErr
 }
 
 // WriteJSONL streams results as JSON Lines: one compact PointResult object
-// per line, the shard interchange format.
+// per line, the shard interchange format. One encode buffer is reused for
+// the whole set (via AppendJSONL), so writing allocates only while the
+// longest line grows.
 func WriteJSONL(w io.Writer, results []PointResult) error {
 	bw := bufio.NewWriter(w)
-	for _, r := range results {
-		b, err := json.Marshal(r)
+	var buf []byte
+	for i := range results {
+		var err error
+		buf, err = AppendJSONL(buf[:0], results[i])
 		if err != nil {
 			return err
 		}
-		bw.Write(b)
-		bw.WriteByte('\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

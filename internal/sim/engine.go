@@ -30,6 +30,13 @@ type Engine struct {
 	seq     int64 // tie-breaker for deterministic ordering
 	stopped bool
 
+	// Event arena: At hands events out of fixed-size blocks and Reset
+	// recycles the blocks wholesale, so replaying many schedules on one
+	// engine allocates events only while the high-water mark grows.
+	evBlocks [][]Event
+	evBlock  int // block the next event comes from
+	evUsed   int // events used within that block
+
 	// Hooks, optional. Invoked synchronously inside Run.
 	OnEvent func(t float64, label string)
 }
@@ -37,6 +44,42 @@ type Engine struct {
 // NewEngine returns an empty simulator positioned at virtual time 0.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// Reset returns the engine to virtual time 0 with an empty queue and a
+// recycled event arena, keeping allocated capacity for the next
+// simulation. Events handed out before the Reset are invalidated: callers
+// must not retain or Cancel them across a Reset.
+func (e *Engine) Reset() {
+	for i := range e.queue {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.evBlock = 0
+	e.evUsed = 0
+}
+
+// eventBlockSize is the arena block granularity; a Fig. 3-sized run
+// schedules a few thousand events, so blocks stay few.
+const eventBlockSize = 512
+
+// newEvent returns a zeroed event from the arena.
+func (e *Engine) newEvent() *Event {
+	if e.evBlock == len(e.evBlocks) {
+		e.evBlocks = append(e.evBlocks, make([]Event, eventBlockSize))
+	}
+	blk := e.evBlocks[e.evBlock]
+	ev := &blk[e.evUsed]
+	e.evUsed++
+	if e.evUsed == len(blk) {
+		e.evBlock++
+		e.evUsed = 0
+	}
+	*ev = Event{}
+	return ev
 }
 
 // Now returns the current virtual time in seconds.
@@ -55,7 +98,8 @@ func (e *Engine) At(t float64, label string, fn func()) *Event {
 	if math.IsNaN(t) {
 		panic(fmt.Sprintf("sim: scheduling event %q at NaN", label))
 	}
-	ev := &Event{time: t, seq: e.seq, label: label, fn: fn}
+	ev := e.newEvent()
+	ev.time, ev.seq, ev.label, ev.fn = t, e.seq, label, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev

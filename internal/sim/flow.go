@@ -37,6 +37,10 @@ type Flow struct {
 	done      bool
 	onDone    func(endTime float64)
 	startEv   *Event
+	// startFn is the latency-elapsed callback, created once per arena
+	// slot and reused across recycles (it captures only the slot's stable
+	// address and its owning net).
+	startFn func()
 }
 
 // NewTestFlow returns an unstarted flow over route with the given remaining
@@ -73,11 +77,61 @@ type FlowNet struct {
 	// solver holds the persistent link registry and the scratch state of
 	// the fair-share computation, reused across reshares.
 	solver fairShareSolver
+
+	// Flow arena: Start hands flows out of fixed-size blocks and Reset
+	// recycles them wholesale (keeping each flow's routeIDs capacity), so
+	// replaying many schedules on one net allocates flows only while the
+	// high-water mark grows.
+	flBlocks [][]Flow
+	flBlock  int
+	flUsed   int
+
+	// finished is onCompletion's scratch for the flows retired by one
+	// completion event (events run sequentially, so it is never nested).
+	finished []*Flow
 }
 
 // NewFlowNet returns a flow manager bound to eng.
 func NewFlowNet(eng *Engine) *FlowNet {
 	return &FlowNet{eng: eng}
+}
+
+// Reset detaches all flows and returns the net to its initial state,
+// keeping the solver's link registry (links are immutable and shared
+// across simulations) and the flow arena for reuse. The engine must be
+// Reset alongside; flows handed out before the Reset are invalidated.
+func (n *FlowNet) Reset() {
+	for i := range n.active {
+		n.active[i] = nil
+	}
+	n.active = n.active[:0]
+	n.lastUpdate = 0
+	n.completion = nil
+	n.nextDone = nil
+	n.flBlock = 0
+	n.flUsed = 0
+}
+
+// flowBlockSize is the arena block granularity.
+const flowBlockSize = 256
+
+// newFlow returns a zeroed flow from the arena, preserving the recycled
+// flow's routeIDs capacity.
+func (n *FlowNet) newFlow() *Flow {
+	if n.flBlock == len(n.flBlocks) {
+		n.flBlocks = append(n.flBlocks, make([]Flow, flowBlockSize))
+	}
+	blk := n.flBlocks[n.flBlock]
+	f := &blk[n.flUsed]
+	n.flUsed++
+	if n.flUsed == len(blk) {
+		n.flBlock++
+		n.flUsed = 0
+	}
+	ids := f.routeIDs[:0]
+	fn := f.startFn
+	*f = Flow{routeIDs: ids, startFn: fn}
+	return f
 }
 
 // Start initiates a transfer of the given number of bytes along route. The
@@ -91,27 +145,41 @@ func (n *FlowNet) Start(label string, route []*Link, bytes float64, onDone func(
 	if bytes < 0 {
 		panic(fmt.Sprintf("sim: flow %q with negative size %g", label, bytes))
 	}
-	f := &Flow{Label: label, route: route, remaining: bytes, onDone: onDone}
+	f := n.newFlow()
+	f.Label, f.route, f.remaining, f.onDone = label, route, bytes, onDone
 	if len(route) == 0 {
 		n.finish(f)
 		return f
 	}
-	f.routeIDs = n.solver.register(route, nil)
+	f.routeIDs = n.solver.register(route, f.routeIDs)
 	lat := 0.0
 	for _, l := range route {
 		lat += l.Latency
 	}
-	f.startEv = n.eng.After(lat, "flow-start:"+label, func() {
-		f.started = true
-		if f.remaining <= 0 {
-			n.finish(f)
-			return
-		}
-		n.advance()
-		n.active = append(n.active, f)
-		n.reshare()
-	})
+	// The start label is only observable through the engine's OnEvent
+	// hook; skip the concatenation on the (hot) unobserved path.
+	startLabel := label
+	if n.eng.OnEvent != nil {
+		startLabel = "flow-start:" + label
+	}
+	if f.startFn == nil {
+		f.startFn = func() { n.flowStarted(f) }
+	}
+	f.startEv = n.eng.After(lat, startLabel, f.startFn)
 	return f
+}
+
+// flowStarted runs when a flow's route latency has elapsed: the flow
+// joins the active set and bandwidth is reshared.
+func (n *FlowNet) flowStarted(f *Flow) {
+	f.started = true
+	if f.remaining <= 0 {
+		n.finish(f)
+		return
+	}
+	n.advance()
+	n.active = append(n.active, f)
+	n.reshare()
 }
 
 // ActiveFlows returns the number of flows currently transferring bytes.
@@ -177,7 +245,7 @@ func (n *FlowNet) onCompletion() {
 		target.remaining = 0
 	}
 	kept := n.active[:0]
-	var finished []*Flow
+	finished := n.finished[:0]
 	for _, f := range n.active {
 		if f.remaining <= 0 {
 			finished = append(finished, f)
@@ -190,6 +258,10 @@ func (n *FlowNet) onCompletion() {
 	for _, f := range finished {
 		n.finish(f)
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	n.finished = finished[:0]
 }
 
 func (n *FlowNet) finish(f *Flow) {

@@ -12,15 +12,16 @@
 // their start times are determined dynamically by data arrival and by the
 // mapped execution order on each processor.
 //
-// Concurrency: Execute builds a fresh Engine and FlowNet per call and only
+// Concurrency: Execute builds a fresh execution state per call and only
 // reads the schedule and its platform, so independent schedules may be
 // executed concurrently; a single schedule must not be executed while it
-// is being mutated.
+// is being mutated. A Scratch amortizes that state across the many
+// schedules one worker replays — it is worker-owned and must be confined
+// to one goroutine.
 package simexec
 
 import (
 	"fmt"
-	"sort"
 
 	"ptgsched/internal/cost"
 	"ptgsched/internal/mapping"
@@ -42,117 +43,113 @@ type Result struct {
 // execTask tracks the runtime state of one placement.
 type execTask struct {
 	p     *mapping.Placement
-	idx   int // index in schedule.Placements
 	flows int // input flows not yet arrived
 	procs int // processor reservations not yet released by predecessors
 	start float64
 	end   float64
 	done  bool
-	// procSuccs lists tasks waiting for one of this task's processors;
-	// a task appears once per shared processor.
-	procSuccs []*execTask
+}
+
+// Scratch owns every piece of per-execution state — engine, flow net,
+// task records, per-processor queues, dependence lists — and reuses it
+// across Execute calls, so a worker replaying thousands of schedules
+// allocates only while its high-water marks grow. A Scratch must be
+// confined to one goroutine; results it returns are overwritten by the
+// next Execute on the same Scratch.
+type Scratch struct {
+	eng *sim.Engine
+	net *sim.FlowNet
+
+	sched *mapping.Schedule
+	tasks []execTask
+
+	// Per-processor execution queues as CSR over the global processor
+	// index (clusterOff[c] + proc): qStart[g]..qStart[g+1] indexes
+	// qItems, each item a task index.
+	clusterOff []int
+	qStart     []int
+	qCur       []int
+	qItems     []int
+	// Release-dependence successors as CSR over task index: each
+	// adjacent pair in a processor queue contributes one edge.
+	succStart []int
+	succCur   []int
+	succs     []int
+	// Outgoing data redistributions as CSR over the producer's task
+	// index, in DAG edge order.
+	flowStart []int
+	flowCur   []int
+	flowTo    []int
+	flowBytes []float64
+
+	// Per-slot callbacks, created once as the scratch grows and reused
+	// across runs: computeFns[i] completes task i, arriveFns[i] records
+	// one input flow arrival at task i. They capture only the Scratch
+	// and the slot index, so no per-event closure is allocated.
+	computeFns []func()
+	arriveFns  []func(float64)
+
+	res Result
+}
+
+// NewScratch returns an empty scratch ready for Execute.
+func NewScratch() *Scratch {
+	eng := sim.NewEngine()
+	return &Scratch{eng: eng, net: sim.NewFlowNet(eng)}
 }
 
 // Execute replays the schedule and returns the simulated times. It panics
 // if the schedule deadlocks, which only an inconsistent hand-built schedule
 // (circular per-processor orders) can cause.
 func Execute(s *mapping.Schedule) *Result {
-	eng := sim.NewEngine()
-	net := sim.NewFlowNet(eng)
+	return NewScratch().Execute(s)
+}
 
-	tasks := make([]*execTask, len(s.Placements))
-	byPlacement := make(map[*mapping.Placement]*execTask, len(s.Placements))
+// Execute replays the schedule on the scratch's reusable state. The
+// returned Result (and its slices) belongs to the scratch and is
+// overwritten by the next Execute call on it.
+func (sc *Scratch) Execute(s *mapping.Schedule) *Result {
+	sc.eng.Reset()
+	sc.net.Reset()
+	sc.sched = s
+
+	n := len(s.Placements)
+	sc.tasks = growSlice(sc.tasks, n)
 	for i, p := range s.Placements {
-		et := &execTask{p: p, idx: i, start: -1}
-		tasks[i] = et
-		byPlacement[p] = et
+		sc.tasks[i] = execTask{p: p, start: -1}
 	}
-
-	// Per-processor execution order: mapped start time, then placement
-	// index for determinism. Each adjacent pair in a queue is a
-	// release-dependence.
-	type procKey struct{ cluster, proc int }
-	queues := make(map[procKey][]*execTask)
-	for _, et := range tasks {
-		for _, proc := range et.p.Procs {
-			key := procKey{et.p.Cluster.Index, proc}
-			queues[key] = append(queues[key], et)
-		}
-	}
-	for _, q := range queues {
-		sort.Slice(q, func(i, j int) bool {
-			if q[i].p.Start != q[j].p.Start {
-				return q[i].p.Start < q[j].p.Start
-			}
-			return q[i].idx < q[j].idx
+	for len(sc.computeFns) < n {
+		i := len(sc.computeFns)
+		sc.computeFns = append(sc.computeFns, func() { sc.finishTask(i) })
+		sc.arriveFns = append(sc.arriveFns, func(float64) {
+			sc.tasks[i].flows--
+			sc.tryStart(i)
 		})
-		for i := 1; i < len(q); i++ {
-			q[i].procs++
-			q[i-1].procSuccs = append(q[i-1].procSuccs, q[i])
-		}
 	}
 
-	// Input flows: one per DAG edge, started when the producer finishes.
-	type edgeFlow struct {
-		to    *execTask
-		bytes float64
-	}
-	flowsOut := make(map[*execTask][]edgeFlow)
-	for _, app := range s.Apps {
-		for _, e := range app.Graph.Edges {
-			from := byPlacement[s.PlacementOf(e.From)]
-			to := byPlacement[s.PlacementOf(e.To)]
-			if from == nil || to == nil {
-				panic(fmt.Sprintf("simexec: edge %q->%q not fully placed", e.From.Name, e.To.Name))
-			}
-			to.flows++
-			flowsOut[from] = append(flowsOut[from], edgeFlow{to: to, bytes: e.Bytes})
-		}
-	}
+	sc.buildQueues(s)
+	sc.buildFlows(s)
 
-	var tryStart func(et *execTask)
-	finish := func(et *execTask) {
-		et.done = true
-		et.end = eng.Now()
-		for _, succ := range et.procSuccs {
-			succ.procs--
-			tryStart(succ)
-		}
-		for _, ef := range flowsOut[et] {
-			ef := ef
-			route := s.Platform.Route(et.p.Cluster, ef.to.p.Cluster)
-			label := fmt.Sprintf("%s->%s", et.p.Task.Name, ef.to.p.Task.Name)
-			net.Start(label, route, ef.bytes, func(float64) {
-				ef.to.flows--
-				tryStart(ef.to)
-			})
-		}
+	for i := range sc.tasks {
+		sc.tryStart(i)
 	}
-	tryStart = func(et *execTask) {
-		if et.start >= 0 || et.flows > 0 || et.procs > 0 {
-			return
-		}
-		et.start = eng.Now()
-		dur := cost.TaskTime(et.p.Task, et.p.Cluster.Speed, len(et.p.Procs))
-		eng.After(dur, "compute:"+et.p.Task.Name, func() { finish(et) })
-	}
+	sc.eng.Run()
 
-	for _, et := range tasks {
-		tryStart(et)
+	res := &sc.res
+	res.AppMakespans = growSlice(res.AppMakespans, len(s.Apps))
+	for i := range res.AppMakespans {
+		res.AppMakespans[i] = 0
 	}
-	eng.Run()
-
-	res := &Result{
-		AppMakespans: make([]float64, len(s.Apps)),
-		Starts:       make([]float64, len(tasks)),
-		Ends:         make([]float64, len(tasks)),
-	}
-	for _, et := range tasks {
+	res.Starts = growSlice(res.Starts, n)
+	res.Ends = growSlice(res.Ends, n)
+	res.Makespan = 0
+	for i := range sc.tasks {
+		et := &sc.tasks[i]
 		if !et.done {
 			panic(fmt.Sprintf("simexec: deadlock: task %q never ran", et.p.Task.Name))
 		}
-		res.Starts[et.idx] = et.start
-		res.Ends[et.idx] = et.end
+		res.Starts[i] = et.start
+		res.Ends[i] = et.end
 		if et.end > res.AppMakespans[et.p.App] {
 			res.AppMakespans[et.p.App] = et.end
 		}
@@ -161,4 +158,190 @@ func Execute(s *mapping.Schedule) *Result {
 		}
 	}
 	return res
+}
+
+// buildQueues derives the per-processor execution order — mapped start
+// time, then placement index for determinism — and turns each adjacent
+// queue pair into a release-dependence.
+func (sc *Scratch) buildQueues(s *mapping.Schedule) {
+	pf := s.Platform
+	sc.clusterOff = growSlice(sc.clusterOff, len(pf.Clusters))
+	total := 0
+	for k, c := range pf.Clusters {
+		sc.clusterOff[k] = total
+		total += c.Procs
+	}
+
+	// Counting-sort the placements into per-processor buckets: count,
+	// prefix-sum, fill in placement order (so each bucket starts sorted
+	// by placement index).
+	items := 0
+	sc.qStart = growSlice(sc.qStart, total+1)
+	for i := range sc.qStart {
+		sc.qStart[i] = 0
+	}
+	for i := range sc.tasks {
+		p := sc.tasks[i].p
+		off := sc.clusterOff[p.Cluster.Index]
+		for _, proc := range p.Procs {
+			sc.qStart[off+proc+1]++
+			items++
+		}
+	}
+	for g := 0; g < total; g++ {
+		sc.qStart[g+1] += sc.qStart[g]
+	}
+	sc.qItems = growSlice(sc.qItems, items)
+	sc.qCur = growSlice(sc.qCur, total)
+	copy(sc.qCur, sc.qStart[:total])
+	for i := range sc.tasks {
+		p := sc.tasks[i].p
+		off := sc.clusterOff[p.Cluster.Index]
+		for _, proc := range p.Procs {
+			g := off + proc
+			sc.qItems[sc.qCur[g]] = i
+			sc.qCur[g]++
+		}
+	}
+
+	// Order each bucket by (mapped start, placement index). The fill
+	// left buckets index-sorted and the mapper books processors in
+	// near-time order, so insertion sort is close to linear; the key is
+	// a strict total order (indices are distinct), so the result is the
+	// unique sorted sequence.
+	tasks := sc.tasks
+	for g := 0; g < total; g++ {
+		q := sc.qItems[sc.qStart[g]:sc.qStart[g+1]]
+		for i := 1; i < len(q); i++ {
+			for j := i; j > 0; j-- {
+				a, b := q[j-1], q[j]
+				if tasks[a].p.Start < tasks[b].p.Start ||
+					(tasks[a].p.Start == tasks[b].p.Start && a < b) {
+					break
+				}
+				q[j-1], q[j] = q[j], q[j-1]
+			}
+		}
+	}
+
+	// Adjacent queue pairs become release-dependences, gathered as CSR
+	// over the predecessor task.
+	nt := len(tasks)
+	sc.succStart = growSlice(sc.succStart, nt+1)
+	for i := range sc.succStart {
+		sc.succStart[i] = 0
+	}
+	nSucc := 0
+	for g := 0; g < total; g++ {
+		q := sc.qItems[sc.qStart[g]:sc.qStart[g+1]]
+		for i := 1; i < len(q); i++ {
+			sc.succStart[q[i-1]+1]++
+			tasks[q[i]].procs++
+			nSucc++
+		}
+	}
+	for i := 0; i < nt; i++ {
+		sc.succStart[i+1] += sc.succStart[i]
+	}
+	sc.succs = growSlice(sc.succs, nSucc)
+	sc.succCur = growSlice(sc.succCur, nt)
+	copy(sc.succCur, sc.succStart[:nt])
+	for g := 0; g < total; g++ {
+		q := sc.qItems[sc.qStart[g]:sc.qStart[g+1]]
+		for i := 1; i < len(q); i++ {
+			from := q[i-1]
+			sc.succs[sc.succCur[from]] = q[i]
+			sc.succCur[from]++
+		}
+	}
+}
+
+// buildFlows gathers the input flows — one per DAG edge, started when the
+// producer finishes — as CSR over the producer's placement index, in DAG
+// edge order.
+func (sc *Scratch) buildFlows(s *mapping.Schedule) {
+	nt := len(sc.tasks)
+	sc.flowStart = growSlice(sc.flowStart, nt+1)
+	for i := range sc.flowStart {
+		sc.flowStart[i] = 0
+	}
+	nf := 0
+	for _, app := range s.Apps {
+		for _, e := range app.Graph.Edges {
+			from, to := s.PlacementOf(e.From), s.PlacementOf(e.To)
+			if from == nil || to == nil {
+				panic(fmt.Sprintf("simexec: edge %q->%q not fully placed", e.From.Name, e.To.Name))
+			}
+			sc.tasks[to.Index].flows++
+			sc.flowStart[from.Index+1]++
+			nf++
+		}
+	}
+	for i := 0; i < nt; i++ {
+		sc.flowStart[i+1] += sc.flowStart[i]
+	}
+	sc.flowTo = growSlice(sc.flowTo, nf)
+	sc.flowBytes = growSlice(sc.flowBytes, nf)
+	sc.flowCur = growSlice(sc.flowCur, nt)
+	copy(sc.flowCur, sc.flowStart[:nt])
+	for _, app := range s.Apps {
+		for _, e := range app.Graph.Edges {
+			from, to := s.PlacementOf(e.From), s.PlacementOf(e.To)
+			k := sc.flowCur[from.Index]
+			sc.flowTo[k] = to.Index
+			sc.flowBytes[k] = e.Bytes
+			sc.flowCur[from.Index] = k + 1
+		}
+	}
+}
+
+// finishTask completes task i: release the processor successors, then
+// start the outgoing redistributions (the order the pre-scratch
+// implementation used, preserved for event-sequence determinism).
+func (sc *Scratch) finishTask(i int) {
+	et := &sc.tasks[i]
+	et.done = true
+	et.end = sc.eng.Now()
+	for _, j := range sc.succs[sc.succStart[i]:sc.succStart[i+1]] {
+		sc.tasks[j].procs--
+		sc.tryStart(j)
+	}
+	s := sc.sched
+	observed := sc.eng.OnEvent != nil
+	for k := sc.flowStart[i]; k < sc.flowStart[i+1]; k++ {
+		to := sc.flowTo[k]
+		route := s.Platform.Route(et.p.Cluster, sc.tasks[to].p.Cluster)
+		label := ""
+		if observed {
+			// Flow labels are only observable through the engine's
+			// OnEvent hook; skip the formatting on the unobserved path.
+			label = fmt.Sprintf("%s->%s", et.p.Task.Name, sc.tasks[to].p.Task.Name)
+		}
+		sc.net.Start(label, route, sc.flowBytes[k], sc.arriveFns[to])
+	}
+}
+
+// tryStart begins task i once all input flows have arrived and all shared
+// processors have been released.
+func (sc *Scratch) tryStart(i int) {
+	et := &sc.tasks[i]
+	if et.start >= 0 || et.flows > 0 || et.procs > 0 {
+		return
+	}
+	et.start = sc.eng.Now()
+	dur := cost.TaskTime(et.p.Task, et.p.Cluster.Speed, len(et.p.Procs))
+	label := "compute"
+	if sc.eng.OnEvent != nil {
+		label = "compute:" + et.p.Task.Name
+	}
+	sc.eng.After(dur, label, sc.computeFns[i])
+}
+
+// growSlice resizes s to length n, reusing capacity when possible. The
+// returned slice's contents are unspecified; callers overwrite them.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

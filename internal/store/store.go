@@ -461,6 +461,14 @@ func (s *Store) Dir() string { return s.dir }
 // the store already holds is an error — resume flows skip completed points,
 // so a duplicate means two writers raced on the same shard.
 func (s *Store) Append(r scenario.PointResult) error {
+	return s.append(r, nil)
+}
+
+// append is Append with an optional caller-owned encode buffer: Sweep's
+// workers pass theirs so the per-point line encoding reuses one buffer per
+// worker instead of allocating per record. The encoding (AppendJSONL) is
+// byte-identical to json.Marshal, so segment files do not change.
+func (s *Store) append(r scenario.PointResult, buf *[]byte) error {
 	if s.readOnly {
 		return ErrReadOnly
 	}
@@ -473,11 +481,17 @@ func (s *Store) Append(r scenario.PointResult) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	seg := s.segs[r.Index%s.man.Shards]
-	line, err := json.Marshal(r)
+	var line []byte
+	var err error
+	if buf != nil {
+		*buf, err = scenario.AppendJSONL((*buf)[:0], r)
+		line = *buf
+	} else {
+		line, err = scenario.AppendJSONL(nil, r)
+	}
 	if err != nil {
 		return err
 	}
-	line = append(line, '\n')
 
 	// The done bit is claimed before the write (two racing writers must
 	// not both append); completed is counted only after the write lands,
@@ -653,7 +667,15 @@ func (s *Store) Sweep(set scenario.IndexSet, workers int) (ran, skipped int, err
 		errMu    sync.Mutex
 		firstErr error
 	)
-	experiment.ForEach(set.Len(), workers, func(j int) {
+	// Per-worker compute scratch and encode buffer: each pool slot reuses
+	// its simulation state and JSONL line buffer across all the points it
+	// sweeps (both are goroutine-confined by ForEachWorker).
+	type workerState struct {
+		sc  *scenario.Scratch
+		buf []byte
+	}
+	states := make([]workerState, experiment.Workers(set.Len(), workers))
+	experiment.ForEachWorker(set.Len(), workers, func(w, j int) {
 		if s.failed.Load() {
 			return // an earlier append failed; drain fast
 		}
@@ -661,8 +683,12 @@ func (s *Store) Sweep(set scenario.IndexSet, workers int) (ran, skipped int, err
 		if s.IsDone(i) {
 			return
 		}
-		r := s.e.ComputePoint(s.e.PointAt(i), s.memo)
-		if err := s.Append(r); err != nil {
+		ws := &states[w]
+		if ws.sc == nil {
+			ws.sc = scenario.NewScratch()
+		}
+		r := s.e.ComputePointScratch(ws.sc, s.e.PointAt(i), s.memo)
+		if err := s.append(r, &ws.buf); err != nil {
 			errMu.Lock()
 			// Keep the most informative error: a worker racing in after
 			// the failure sees the bare poisoned-handle ErrFailed, which
